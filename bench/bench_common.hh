@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shared plumbing for the reproduction benchmarks.
+ *
+ * Every bench binary regenerates one table or figure of the paper.
+ * Times reported are *virtual* (simulated cycles at 2 GHz) — the
+ * reproduction target is the shape of each result, not wall-clock.
+ *
+ * Scale knobs (environment):
+ *   LLCF_FULL_SCALE=1  use the paper's 28-slice Skylake-SP
+ *                      (default: 8 slices, ~3.5x smaller U)
+ *   LLCF_TRIALS=<n>    override per-cell trial counts
+ *   LLCF_SEED=<n>      base RNG seed (default 42)
+ */
+
+#ifndef LLCF_BENCH_BENCH_COMMON_HH
+#define LLCF_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/options.hh"
+#include "common/stats.hh"
+#include "evset/builder.hh"
+#include "noise/profile.hh"
+
+namespace llcf {
+
+/** Slice count for bench machines (28 at full scale, 8 scaled). */
+inline unsigned
+benchSlices()
+{
+    return fullScale() ? 28u : 8u;
+}
+
+/** The Skylake-SP machine config used by most benches. */
+inline MachineConfig
+benchSkylake()
+{
+    return skylakeSp(benchSlices());
+}
+
+/** Environment index -> noise profile, matching the paper's rows. */
+inline NoiseProfile
+benchProfile(int env)
+{
+    switch (env) {
+      case 0:
+        return quiescentLocal();
+      case 1:
+        return cloudRun();
+      default:
+        return cloudRunQuietHours();
+    }
+}
+
+inline const char *
+benchProfileName(int env)
+{
+    switch (env) {
+      case 0:
+        return "local";
+      case 1:
+        return "cloud";
+      default:
+        return "cloud-3-5am";
+    }
+}
+
+/** A fully-wired attacker rig on a fresh machine. */
+struct BenchRig
+{
+    BenchRig(const MachineConfig &cfg, const NoiseProfile &profile,
+             std::uint64_t seed, Cycles evset_budget)
+        : machine(cfg, profile, seed)
+    {
+        AttackerConfig acfg;
+        acfg.seed = seed;
+        acfg.evsetBudget = evset_budget;
+        session = std::make_unique<AttackSession>(machine, acfg);
+        pool = std::make_unique<CandidatePool>(
+            *session, CandidatePool::requiredPages(machine, 3.0));
+    }
+
+    Machine machine;
+    std::unique_ptr<AttackSession> session;
+    std::unique_ptr<CandidatePool> pool;
+};
+
+/** Emit one formatted row to stdout (the "paper table" view). */
+inline void
+printRow(const char *label, const SuccessRate &sr,
+         const SampleStats &times)
+{
+    std::printf("  %-28s succ %5.1f%%  avg %10s  med %10s  "
+                "std %10s\n",
+                label, sr.rate() * 100.0,
+                times.empty() ? "-" : formatDuration(times.mean())
+                    .c_str(),
+                times.empty() ? "-" : formatDuration(times.median())
+                    .c_str(),
+                times.empty() ? "-" : formatDuration(times.stddev())
+                    .c_str());
+}
+
+} // namespace llcf
+
+#endif // LLCF_BENCH_BENCH_COMMON_HH

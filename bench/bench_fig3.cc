@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 3 — execution time of the parallel and sequential
+ * TestEviction implementations on Cloud Run for candidate counts
+ * from U to 11U (U = LLC/SF uncertainty).
+ *
+ * Paper reference (28 slices, U = 896): parallel TestEviction takes
+ * ~135 us at 11U = 9,856 candidates, roughly two orders of magnitude
+ * below sequential (~4-5 ms at the same size).  Also reproduces the
+ * Section 4.3 analysis: expected background accesses during one test
+ * and the probability of a noise-free parallel test.
+ */
+
+#include "bench_common.hh"
+
+namespace llcf {
+namespace {
+
+const unsigned kMultipliers[] = {1, 3, 5, 7, 9, 11};
+
+void
+BM_Fig3(benchmark::State &state)
+{
+    const bool parallel = state.range(0) == 0;
+    const unsigned mult = kMultipliers[state.range(1)];
+    const std::size_t trials = trialCount(parallel ? 20 : 5);
+
+    BenchRig rig(benchSkylake(), cloudRun(), baseSeed(),
+                 msToCycles(1000.0));
+    const unsigned u = rig.machine.config().sf.uncertainty();
+    const std::size_t n = static_cast<std::size_t>(u) * mult;
+    auto cands = rig.pool->candidatesAt(13);
+    if (cands.size() <= n) {
+        state.SkipWithError("candidate pool smaller than test size");
+        return;
+    }
+    const Addr ta = cands.back();
+    cands.pop_back();
+    cands.resize(n);
+
+    SampleStats duration_us;
+    for (auto _ : state) {
+        for (std::size_t t = 0; t < trials; ++t) {
+            const Cycles start = rig.machine.now();
+            if (parallel) {
+                rig.session->testEvictionLlcParallel(ta, cands, n);
+            } else {
+                // Sequential (pointer-chase) traversal + timed check.
+                Machine &m = rig.machine;
+                m.clflush(0, ta);
+                m.loadShared(0, 1, ta);
+                for (Addr a : cands)
+                    m.chaseLoad(0, a);
+                m.probeLoad(0, ta);
+            }
+            duration_us.add(cyclesToUs(rig.machine.now() - start));
+        }
+    }
+
+    const double rate_per_us =
+        rig.machine.noiseProfile().accessesPerSetPerMs / 1000.0;
+    const double expected_noise = duration_us.mean() * rate_per_us;
+    state.counters["duration_us"] = duration_us.mean();
+    state.counters["candidates"] = static_cast<double>(n);
+    state.counters["expected_bg_accesses"] = expected_noise;
+    state.counters["clean_test_prob"] = std::exp(-expected_noise);
+
+    std::printf("  %-10s %6zu cands (%2uU): %9.1f us"
+                "   E[bg accesses]=%6.2f   P[clean]=%.3f\n",
+                parallel ? "parallel" : "sequential", n, mult,
+                duration_us.mean(), expected_noise,
+                std::exp(-expected_noise));
+}
+
+BENCHMARK(BM_Fig3)
+    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4, 5}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace llcf
+
+BENCHMARK_MAIN();

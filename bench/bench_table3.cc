@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table 3 — effectiveness of the state-of-the-art address-pruning
+ * algorithms (Gt, GtOp, Ps, PsOp) WITHOUT candidate filtering, in a
+ * quiescent local environment, on Cloud Run, and on Cloud Run during
+ * the 3-5 am quiet hours.
+ *
+ * Paper reference (Cloud Run row): Gt 39.4% / 714 ms, GtOp 56.0% /
+ * 512 ms, Ps 3.2% / 580 ms, PsOp 6.9% / 572 ms; all ~97-99% and
+ * 15-56 ms in the quiescent local environment.
+ */
+
+#include "bench_common.hh"
+
+namespace llcf {
+namespace {
+
+const PruneAlgo kAlgos[] = {PruneAlgo::Gt, PruneAlgo::GtOp,
+                            PruneAlgo::Ps, PruneAlgo::PsOp};
+
+void
+BM_Table3(benchmark::State &state)
+{
+    const PruneAlgo algo = kAlgos[state.range(0)];
+    const int env = static_cast<int>(state.range(1));
+    const std::size_t trials = trialCount(env == 0 ? 10 : 6);
+
+    SuccessRate sr;
+    SampleStats times;
+    for (auto _ : state) {
+        for (std::size_t t = 0; t < trials; ++t) {
+            BenchRig rig(benchSkylake(), benchProfile(env),
+                         baseSeed() + t * 131, msToCycles(1000.0));
+            auto cands = rig.pool->candidatesAt(
+                static_cast<unsigned>(t % kLinesPerPage));
+            const Addr ta = cands[t % cands.size()];
+            cands.erase(cands.begin() +
+                        static_cast<long>(t % cands.size()));
+            EvictionSetBuilder builder(*rig.session, algo,
+                                       /*use_filter=*/false);
+            auto out = builder.buildForTarget(ta, cands);
+            sr.add(out.success && out.groundTruthValid);
+            times.add(static_cast<double>(out.elapsed));
+        }
+    }
+    state.counters["succ_rate_pct"] = sr.rate() * 100.0;
+    state.counters["avg_ms"] = cyclesToMs(
+        static_cast<Cycles>(times.mean()));
+    state.counters["med_ms"] = cyclesToMs(
+        static_cast<Cycles>(times.median()));
+    state.counters["std_ms"] = cyclesToMs(
+        static_cast<Cycles>(times.stddev()));
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s @ %s",
+                  pruneAlgoName(algo), benchProfileName(env));
+    printRow(label, sr, times);
+}
+
+BENCHMARK(BM_Table3)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace llcf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table 5 — prime and probe latencies of the two Prime+Scope
+ * strategies and Parallel Probing on Cloud Run.
+ *
+ * Paper reference: PS-Flush prime 6,024 +- 990, PS-Alt prime
+ * 2,777 +- 735, Parallel prime 1,121 +- 448 cycles; probe 94 +- 0.7
+ * (Prime+Scope) vs 118 +- 0.7 (Parallel) cycles.
+ */
+
+#include "attack/covert.hh"
+#include "bench_common.hh"
+
+namespace llcf {
+namespace {
+
+const MonitorKind kKinds[] = {MonitorKind::PsFlush, MonitorKind::PsAlt,
+                              MonitorKind::Parallel};
+
+void
+BM_Table5(benchmark::State &state)
+{
+    const MonitorKind kind = kKinds[state.range(0)];
+    const std::size_t trials = trialCount(6);
+
+    SampleStats prime, probe;
+    SuccessRate detection;
+    for (auto _ : state) {
+        for (std::size_t t = 0; t < trials; ++t) {
+            BenchRig rig(skylakeSp(4), cloudRun(),
+                         baseSeed() + t * 149, msToCycles(100.0));
+            const unsigned w = rig.machine.config().sf.ways;
+            const Addr sender = rig.pool->at(17 + t, 9);
+            auto evset = groundTruthEvictionSet(rig.machine, *rig.pool,
+                                                sender, w);
+            std::vector<Addr> alt;
+            if (kind == MonitorKind::PsAlt) {
+                alt = groundTruthEvictionSet(rig.machine, *rig.pool,
+                                             sender, w, w);
+            }
+            CovertParams params;
+            params.accessInterval = 10000;
+            params.accesses = 300;
+            auto out = runCovertExperiment(*rig.session, kind, evset,
+                                           alt, sender, params);
+            prime.merge(out.primeLatency);
+            probe.merge(out.probeLatency);
+            detection.add(out.detectionRate > 0.5);
+        }
+    }
+    state.counters["prime_mean_cyc"] = prime.mean();
+    state.counters["prime_std_cyc"] = prime.stddev();
+    state.counters["probe_mean_cyc"] = probe.mean();
+    state.counters["probe_std_cyc"] = probe.stddev();
+
+    std::printf("  %-10s prime %6.0f +- %5.0f cycles   probe %5.0f "
+                "+- %4.1f cycles\n",
+                monitorKindName(kind), prime.mean(), prime.stddev(),
+                probe.mean(), probe.stddev());
+}
+
+BENCHMARK(BM_Table5)
+    ->DenseRange(0, 2)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace llcf
+
+BENCHMARK_MAIN();

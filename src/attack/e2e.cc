@@ -1,0 +1,83 @@
+#include "e2e.hh"
+
+#include "common/log.hh"
+
+namespace llcf {
+
+EndToEndAttack::EndToEndAttack(AttackSession &session,
+                               VictimService &victim,
+                               const TraceClassifier &classifier,
+                               const NonceExtractor &extractor,
+                               const E2EParams &params)
+    : session_(session),
+      victim_(victim),
+      classifier_(classifier),
+      extractor_(extractor),
+      params_(params)
+{
+}
+
+E2EResult
+EndToEndAttack::run(const CandidatePool &pool)
+{
+    Machine &m = session_.machine();
+    E2EResult res;
+
+    // ---- Step 1: eviction sets for all SF sets at the target page
+    // offset (the attacker knows the library layout, Section 7.1).
+    Cycles t0 = m.now();
+    EvictionSetBuilder builder(session_, params_.algo,
+                               params_.useFilter);
+    BulkOutcome built = builder.buildAtLineIndex(
+        pool, victim_.targetLineIndex());
+    res.buildTime = m.now() - t0;
+    if (built.evsets.empty())
+        return res;
+    res.evsetsBuilt = true;
+
+    // ---- Step 2: identify the target SF set while triggering the
+    // victim.  Keep the victim serving requests across the scan.
+    t0 = m.now();
+    const double scan_sec = cyclesToSec(params_.scanner.timeout);
+    const unsigned request_count = std::max<unsigned>(
+        4, static_cast<unsigned>(scan_sec / cyclesToSec(
+               victim_.expectedRequestCycles(570)) * 1.2) + 2);
+    victim_.serveRequests(m.now(), request_count);
+
+    TargetSetScanner scanner(session_, classifier_);
+    ScanResult scan = scanner.scan(built.evsets);
+    res.scanTime = m.now() - t0;
+    m.clearStreams();
+    if (!scan.found)
+        return res;
+    res.targetFound = true;
+    res.targetCorrect =
+        m.sharedSetOf(built.evsets[scan.evsetIndex].target) ==
+        m.sharedSetOf(victim_.targetLinePa());
+
+    // ---- Step 3: collect traces of fresh signings and extract the
+    // nonce bits from each.
+    t0 = m.now();
+    const auto &evset = built.evsets[scan.evsetIndex];
+    for (unsigned i = 0; i < params_.tracesPerVictim; ++i) {
+        auto execs = victim_.serveRequests(m.now() + 1000, 1);
+        const auto &exec = execs[0];
+        // The attacker monitors from request dispatch to response.
+        auto monitor = PrimeProbeMonitor::make(MonitorKind::Parallel,
+                                               session_, evset.sfSet);
+        if (exec.ladderStart > m.now())
+            m.idle(exec.ladderStart - m.now());
+        auto detections = monitor->collectTrace(exec.ladderEnd);
+        m.clearStreams();
+
+        auto bits = extractor_.extract(detections);
+        auto sc = extractor_.score(bits, exec);
+        res.recoveredFraction.add(sc.recoveredFraction());
+        if (sc.recoveredBits > 0)
+            res.bitErrorRate.add(sc.bitErrorRate());
+    }
+    res.extractTime = m.now() - t0;
+    return res;
+}
+
+} // namespace llcf

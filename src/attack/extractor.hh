@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Nonce-bit extraction from a monitored access trace (paper Section
+ * 7.3): a random-forest classifier marks which detected accesses are
+ * ladder-iteration boundaries; boundary pairs 8k-12k cycles apart
+ * delimit iterations; the bit of an iteration follows from whether an
+ * extra access falls near its midpoint.
+ */
+
+#ifndef LLCF_ATTACK_EXTRACTOR_HH
+#define LLCF_ATTACK_EXTRACTOR_HH
+
+#include "ml/forest.hh"
+#include "victim/victim.hh"
+
+namespace llcf {
+
+/** Extractor parameters. */
+struct ExtractorParams
+{
+    Cycles iterationCycles = 9700; //!< expected iteration duration
+    Cycles minIteration = 8000;    //!< boundary-pair filter (paper: 8k)
+    Cycles maxIteration = 12000;   //!< boundary-pair filter (paper: 12k)
+    /** Matching tolerance when scoring against ground truth. */
+    Cycles groundTruthTolerance = 1500;
+    /** Bit convention: midpoint access present => bit is 0 (the
+     *  instrumented layout of Section 7.1). */
+    bool midpointMeansZero = true;
+};
+
+/** One extracted iteration. */
+struct ExtractedBit
+{
+    Cycles start = 0; //!< predicted iteration start
+    Cycles end = 0;   //!< predicted iteration end
+    int bit = 0;      //!< extracted bit value
+};
+
+/** Extraction quality against ground truth. */
+struct ExtractionScore
+{
+    std::size_t totalBits = 0;     //!< ground-truth ladder iterations
+    std::size_t recoveredBits = 0; //!< iterations with an extracted bit
+    std::size_t bitErrors = 0;     //!< recovered bits that are wrong
+
+    double
+    recoveredFraction() const
+    {
+        return totalBits ? static_cast<double>(recoveredBits) /
+               static_cast<double>(totalBits) : 0.0;
+    }
+
+    double
+    bitErrorRate() const
+    {
+        return recoveredBits ? static_cast<double>(bitErrors) /
+               static_cast<double>(recoveredBits) : 0.0;
+    }
+};
+
+/**
+ * Random-forest boundary classifier plus the bit-recovery rules.
+ */
+class NonceExtractor
+{
+  public:
+    explicit NonceExtractor(const ExtractorParams &params = {});
+
+    /** Per-access feature vector (gaps to neighbours, local density). */
+    std::vector<double> accessFeatures(const std::vector<Cycles> &trace,
+                                       std::size_t index) const;
+
+    /**
+     * Build a labelled boundary dataset from traces with ground
+     * truth: an access is a boundary iff it matches an iteration
+     * start within the tolerance.
+     */
+    Dataset buildTrainingSet(
+        const std::vector<std::vector<Cycles>> &traces,
+        const std::vector<const VictimService::Execution *> &truths)
+        const;
+
+    /** Train the boundary forest. */
+    void train(const Dataset &data);
+
+    /** True once train() has been called. */
+    bool trained() const { return trained_; }
+
+    /** Extract bits from a detection-timestamp trace. */
+    std::vector<ExtractedBit> extract(const std::vector<Cycles> &trace)
+        const;
+
+    /** Score extracted bits against a signing's ground truth. */
+    ExtractionScore score(const std::vector<ExtractedBit> &bits,
+                          const VictimService::Execution &truth) const;
+
+    const ExtractorParams &params() const { return params_; }
+
+  private:
+    /** Predicted boundary timestamps of a trace. */
+    std::vector<Cycles> predictBoundaries(const std::vector<Cycles>
+                                          &trace) const;
+
+    ExtractorParams params_;
+    RandomForest forest_;
+    bool trained_ = false;
+};
+
+} // namespace llcf
+
+#endif // LLCF_ATTACK_EXTRACTOR_HH

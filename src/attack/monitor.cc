@@ -1,0 +1,193 @@
+#include "monitor.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace llcf {
+
+const char *
+monitorKindName(MonitorKind kind)
+{
+    switch (kind) {
+      case MonitorKind::Parallel:
+        return "Parallel";
+      case MonitorKind::PsFlush:
+        return "PS-Flush";
+      case MonitorKind::PsAlt:
+        return "PS-Alt";
+    }
+    return "?";
+}
+
+void
+PrimeProbeMonitor::record(SampleStats &stats, Cycles value)
+{
+    // The paper excludes outliers above 20,000 cycles (interrupts /
+    // context switches).
+    if (value <= 20000)
+        stats.add(static_cast<double>(value));
+}
+
+std::vector<Cycles>
+PrimeProbeMonitor::collectTrace(Cycles deadline)
+{
+    Machine &m = session_.machine();
+    std::vector<Cycles> detections;
+    prime();
+    while (m.now() < deadline) {
+        const ProbeResult r = probe();
+        if (r.detected) {
+            detections.push_back(m.now());
+            prime();
+        }
+    }
+    return detections;
+}
+
+std::unique_ptr<PrimeProbeMonitor>
+PrimeProbeMonitor::make(MonitorKind kind, AttackSession &session,
+                        std::vector<Addr> evset,
+                        std::vector<Addr> alt_evset)
+{
+    switch (kind) {
+      case MonitorKind::Parallel:
+        return std::make_unique<ParallelMonitor>(session,
+                                                 std::move(evset));
+      case MonitorKind::PsFlush:
+        return std::make_unique<PsFlushMonitor>(session,
+                                                std::move(evset));
+      case MonitorKind::PsAlt:
+        if (alt_evset.empty())
+            fatal("PS-Alt needs a second eviction set");
+        return std::make_unique<PsAltMonitor>(session, std::move(evset),
+                                              std::move(alt_evset));
+    }
+    panic("unknown monitor kind");
+}
+
+// ------------------------------------------------------ Parallel
+
+ParallelMonitor::ParallelMonitor(AttackSession &session,
+                                 std::vector<Addr> evset)
+    : PrimeProbeMonitor(session), evset_(std::move(evset))
+{
+    Machine &m = session_.machine();
+    const unsigned core = session_.config().mainCore;
+
+    // Calibrate the all-hit probe duration, then set the detection
+    // threshold above its spread but below a memory-level miss.
+    m.parallelStores(core, evset_);
+    SampleStats baseline;
+    for (int i = 0; i < 16; ++i) {
+        m.parallelStores(core, evset_);
+        baseline.add(static_cast<double>(m.parallelLoads(core, evset_)));
+    }
+    threshold_ = std::max(baseline.median() + 120.0,
+                          baseline.percentile(90.0) + 60.0);
+}
+
+Cycles
+ParallelMonitor::prime()
+{
+    Machine &m = session_.machine();
+    const unsigned core = session_.config().mainCore;
+    // Traverse the eviction set 12 times with overlapped accesses;
+    // no replacement-state preparation needed (Section 6.1).
+    Cycles total = 0;
+    for (int pass = 0; pass < 12; ++pass)
+        total += m.parallelStores(core, evset_);
+    record(primeStats_, total);
+    return total;
+}
+
+PrimeProbeMonitor::ProbeResult
+ParallelMonitor::probe()
+{
+    Machine &m = session_.machine();
+    const unsigned core = session_.config().mainCore;
+    const Cycles d = m.parallelLoads(core, evset_);
+    record(probeStats_, d);
+    return {static_cast<double>(d) > threshold_, d};
+}
+
+// ------------------------------------------------------- PS-Flush
+
+PsFlushMonitor::PsFlushMonitor(AttackSession &session,
+                               std::vector<Addr> evset)
+    : PrimeProbeMonitor(session), evset_(std::move(evset))
+{
+}
+
+Cycles
+PsFlushMonitor::prime()
+{
+    Machine &m = session_.machine();
+    const unsigned core = session_.config().mainCore;
+    Cycles total = 0;
+    // Load, flush, and sequentially reload so the first line ends up
+    // as the set's eviction candidate.
+    for (Addr a : evset_)
+        total += m.load(core, a);
+    for (Addr a : evset_)
+        total += m.clflush(core, a);
+    for (Addr a : evset_)
+        total += m.load(core, a);
+    record(primeStats_, total);
+    return total;
+}
+
+PrimeProbeMonitor::ProbeResult
+PsFlushMonitor::probe()
+{
+    Machine &m = session_.machine();
+    const unsigned core = session_.config().mainCore;
+    // Scope: check only whether the EVC is still in the private
+    // caches; a hit leaves the set's state untouched.
+    const Cycles d = m.probeLoad(core, evset_.front());
+    record(probeStats_, d);
+    const bool miss = static_cast<double>(d) >
+                      session_.config().thresholds.privateMiss;
+    return {miss, d};
+}
+
+// --------------------------------------------------------- PS-Alt
+
+PsAltMonitor::PsAltMonitor(AttackSession &session,
+                           std::vector<Addr> evset,
+                           std::vector<Addr> alt_evset)
+    : PrimeProbeMonitor(session)
+{
+    sets_[0] = std::move(evset);
+    sets_[1] = std::move(alt_evset);
+}
+
+Cycles
+PsAltMonitor::prime()
+{
+    Machine &m = session_.machine();
+    const unsigned core = session_.config().mainCore;
+    // Switch to the other eviction set and prime it with a dependent
+    // pointer chase; its lines displace the previous set's entries,
+    // leaving the first-chased line as the EVC.
+    active_ ^= 1;
+    Cycles total = 0;
+    for (Addr a : sets_[active_])
+        total += m.load(core, a);
+    record(primeStats_, total);
+    return total;
+}
+
+PrimeProbeMonitor::ProbeResult
+PsAltMonitor::probe()
+{
+    Machine &m = session_.machine();
+    const unsigned core = session_.config().mainCore;
+    const Cycles d = m.probeLoad(core, sets_[active_].front());
+    record(probeStats_, d);
+    const bool miss = static_cast<double>(d) >
+                      session_.config().thresholds.privateMiss;
+    return {miss, d};
+}
+
+} // namespace llcf

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Prime+Probe monitors over one SF set (paper Section 6.1).
+ *
+ *  - Parallel: the paper's Parallel Probing — prime by traversing the
+ *    eviction set 12 times with overlapped stores, probe all W lines
+ *    with one overlapped load burst.  No replacement-state
+ *    preparation needed, so priming is fast.
+ *  - PsFlush: Prime+Scope "flush" strategy — load, clflush and
+ *    sequentially reload the eviction set so its first line is the
+ *    eviction candidate (EVC); probe only the EVC.
+ *  - PsAlt: Prime+Scope "alternating" strategy — two eviction sets
+ *    primed alternately with dependent loads; probe the active set's
+ *    EVC.
+ *
+ * Monitors keep prime/probe latency statistics (Table 5) and expose a
+ * trace-collection loop producing detection timestamps (the input to
+ * the PSD pipeline and the nonce extractor).
+ */
+
+#ifndef LLCF_ATTACK_MONITOR_HH
+#define LLCF_ATTACK_MONITOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "evset/session.hh"
+
+namespace llcf {
+
+/** Monitoring strategies evaluated in the paper. */
+enum class MonitorKind { Parallel, PsFlush, PsAlt };
+
+/** Human-readable strategy name (paper nomenclature). */
+const char *monitorKindName(MonitorKind kind);
+
+/**
+ * Base class: the prime/probe state machine and statistics.
+ */
+class PrimeProbeMonitor
+{
+  public:
+    /** Outcome of one probe. */
+    struct ProbeResult
+    {
+        bool detected = false;
+        Cycles duration = 0;
+    };
+
+    virtual ~PrimeProbeMonitor() = default;
+
+    virtual MonitorKind kind() const = 0;
+
+    /** Prepare the monitored set; returns the prime duration. */
+    virtual Cycles prime() = 0;
+
+    /** One probe; records latency statistics. */
+    virtual ProbeResult probe() = 0;
+
+    /**
+     * Monitor until @p deadline (absolute): prime once, then probe
+     * continuously, re-priming after each detection.
+     * @return detection timestamps (probe completion times).
+     */
+    std::vector<Cycles> collectTrace(Cycles deadline);
+
+    /** Prime latencies (interrupt outliers > 20k cycles excluded). */
+    const SampleStats &primeStats() const { return primeStats_; }
+
+    /** Probe latencies (outliers excluded). */
+    const SampleStats &probeStats() const { return probeStats_; }
+
+    /**
+     * Build a monitor.  @p evset must be a minimal SF eviction set;
+     * @p alt_evset is required by PsAlt (a second eviction set for
+     * the same SF set) and ignored otherwise.
+     */
+    static std::unique_ptr<PrimeProbeMonitor> make(
+        MonitorKind kind, AttackSession &session,
+        std::vector<Addr> evset, std::vector<Addr> alt_evset = {});
+
+  protected:
+    explicit PrimeProbeMonitor(AttackSession &session)
+        : session_(session)
+    {
+    }
+
+    /** Record a latency sample, dropping >20k-cycle outliers. */
+    static void record(SampleStats &stats, Cycles value);
+
+    AttackSession &session_;
+    SampleStats primeStats_;
+    SampleStats probeStats_;
+};
+
+/** The paper's Parallel Probing monitor. */
+class ParallelMonitor : public PrimeProbeMonitor
+{
+  public:
+    ParallelMonitor(AttackSession &session, std::vector<Addr> evset);
+
+    MonitorKind kind() const override { return MonitorKind::Parallel; }
+    Cycles prime() override;
+    ProbeResult probe() override;
+
+  private:
+    std::vector<Addr> evset_;
+    double threshold_ = 0.0; //!< calibrated probe-duration threshold
+};
+
+/** Prime+Scope with the flush-based prime pattern. */
+class PsFlushMonitor : public PrimeProbeMonitor
+{
+  public:
+    PsFlushMonitor(AttackSession &session, std::vector<Addr> evset);
+
+    MonitorKind kind() const override { return MonitorKind::PsFlush; }
+    Cycles prime() override;
+    ProbeResult probe() override;
+
+  private:
+    std::vector<Addr> evset_;
+};
+
+/** Prime+Scope with the alternating two-set prime pattern. */
+class PsAltMonitor : public PrimeProbeMonitor
+{
+  public:
+    PsAltMonitor(AttackSession &session, std::vector<Addr> evset,
+                 std::vector<Addr> alt_evset);
+
+    MonitorKind kind() const override { return MonitorKind::PsAlt; }
+    Cycles prime() override;
+    ProbeResult probe() override;
+
+  private:
+    std::vector<Addr> sets_[2];
+    unsigned active_ = 0;
+};
+
+} // namespace llcf
+
+#endif // LLCF_ATTACK_MONITOR_HH

@@ -1,0 +1,224 @@
+#include "scanner.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attack/covert.hh"
+#include "common/log.hh"
+
+namespace llcf {
+
+TraceClassifier::TraceClassifier(const ScannerParams &params)
+    : params_(params),
+      svm_(SvmParams{SvmKernel::Polynomial, 2.0, 3.0, 0.05, 1.0, 1e-3,
+                     6, 20000, 7})
+{
+}
+
+std::vector<double>
+TraceClassifier::features(const std::vector<Cycles> &rel_times) const
+{
+    const std::vector<double> binned =
+        binEvents(rel_times, params_.traceDuration, params_.binCycles);
+    const double fs = kCpuGhz * 1e9 /
+                      static_cast<double>(params_.binCycles);
+    const PsdEstimate psd = welchPsd(binned, fs, params_.welch);
+
+    std::vector<double> row;
+    if (psd.power.empty()) {
+        row.assign(params_.welch.segmentLength / 2 + 1, 0.0);
+        return row;
+    }
+    // Log-power spectrum, normalised by total power so the SVM sees
+    // spectral *shape* rather than trace intensity.
+    const double total = std::max(psd.totalPower(), 1e-12);
+    row.reserve(psd.power.size());
+    for (double p : psd.power)
+        row.push_back(std::log10(p / total + 1e-9));
+    return row;
+}
+
+void
+TraceClassifier::train(Dataset data)
+{
+    scaler_.fit(data);
+    scaler_.transform(data);
+    svm_.fit(data);
+}
+
+bool
+TraceClassifier::isTarget(const std::vector<double> &feature_row) const
+{
+    std::vector<double> scaled = feature_row;
+    scaler_.transform(scaled);
+    return svm_.predict(scaled) > 0;
+}
+
+BinaryMetrics
+TraceClassifier::validate(const Dataset &data) const
+{
+    BinaryMetrics m;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        m.add(data.y[i], isTarget(data.x[i]) ? 1 : -1);
+    return m;
+}
+
+// ------------------------------------------------------------ trainer
+
+ScannerTrainer::ScannerTrainer(AttackSession &session,
+                               VictimService &victim,
+                               const CandidatePool &pool)
+    : session_(session), victim_(victim), pool_(pool)
+{
+}
+
+Dataset
+ScannerTrainer::collect(const TraceClassifier &featurizer,
+                        unsigned target_traces, unsigned nontarget_traces)
+{
+    Machine &m = session_.machine();
+    const auto &params = featurizer.params();
+    const unsigned w_sf = m.config().sf.ways;
+    Dataset data;
+
+    // Ground-truth eviction sets: training is offline on hosts the
+    // experimenter controls (Section 7.2's mmap-based validation).
+    const std::vector<Addr> target_set = groundTruthEvictionSet(
+        m, pool_, victim_.targetLinePa(), w_sf);
+
+    auto collect_one = [&](const std::vector<Addr> &evset, int label) {
+        // Keep the victim running across the trace window.
+        auto execs = victim_.serveRequests(m.now(), 1);
+        // Start the trace somewhere inside the ladder for positive
+        // examples; random phase otherwise.
+        Cycles begin = m.now();
+        if (label > 0) {
+            const Cycles span = execs[0].ladderEnd -
+                                execs[0].ladderStart;
+            begin = execs[0].ladderStart +
+                    session_.rng().nextBelow(std::max<Cycles>(
+                        1, span > params.traceDuration ?
+                           span - params.traceDuration : 1));
+        }
+        if (begin > m.now())
+            m.idle(begin - m.now());
+        auto monitor = PrimeProbeMonitor::make(MonitorKind::Parallel,
+                                               session_, evset);
+        const Cycles t0 = m.now();
+        auto detections = monitor->collectTrace(t0 +
+                                                params.traceDuration);
+        for (auto &d : detections)
+            d -= t0;
+        data.add(featurizer.features(detections), label);
+        // Let the victim finish so streams drain.
+        if (execs[0].requestEnd > m.now())
+            m.idle(execs[0].requestEnd - m.now());
+        m.clearStreams();
+    };
+
+    for (unsigned i = 0; i < target_traces; ++i)
+        collect_one(target_set, +1);
+
+    for (unsigned i = 0; i < nontarget_traces; ++i) {
+        // Random non-target set: a random pool address (excluding
+        // those congruent with the real target), or a decoy line's
+        // set for the hard negatives.
+        std::vector<Addr> evset;
+        if (i % 4 == 0 && !victim_.decoyPas().empty()) {
+            const Addr decoy = victim_.decoyPas()[
+                i / 4 % victim_.decoyPas().size()];
+            evset = groundTruthEvictionSet(m, pool_, decoy, w_sf);
+        } else {
+            for (;;) {
+                const Addr ta = pool_.at(
+                    session_.rng().nextBelow(pool_.pages()),
+                    session_.rng().nextBelow(kLinesPerPage));
+                if (m.sharedSetOf(ta) ==
+                    m.sharedSetOf(victim_.targetLinePa()))
+                    continue;
+                evset = groundTruthEvictionSet(m, pool_, ta, w_sf, 1);
+                break;
+            }
+        }
+        collect_one(evset, -1);
+    }
+    return data;
+}
+
+// ------------------------------------------------------------ scanner
+
+TargetSetScanner::TargetSetScanner(AttackSession &session,
+                                   const TraceClassifier &classifier)
+    : session_(session), classifier_(classifier)
+{
+}
+
+bool
+TargetSetScanner::plausibleNonceTrace(
+    const std::vector<Cycles> &rel_times) const
+{
+    // A genuine nonce trace alternates ~half-iteration and
+    // ~full-iteration gaps; compute the fraction of half-gaps and
+    // reject heavily biased traces (Section 7.2's FP filter).
+    if (rel_times.size() < 16)
+        return false;
+    unsigned half = 0, full = 0;
+    for (std::size_t i = 1; i < rel_times.size(); ++i) {
+        const double gap = static_cast<double>(rel_times[i] -
+                                               rel_times[i - 1]);
+        if (gap > 3500 && gap < 6500)
+            ++half;
+        else if (gap > 8000 && gap < 12000)
+            ++full;
+    }
+    const unsigned informative = half + full;
+    if (informative < rel_times.size() / 4)
+        return false;
+    const double frac = static_cast<double>(half) /
+                        static_cast<double>(informative);
+    return frac > 0.08 && frac < 0.92;
+}
+
+ScanResult
+TargetSetScanner::scan(const std::vector<BuiltEvictionSet> &evsets)
+{
+    Machine &m = session_.machine();
+    const auto &params = classifier_.params();
+    ScanResult res;
+    const Cycles start = m.now();
+    const Cycles deadline = start + params.timeout;
+
+    std::vector<std::size_t> order(evsets.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    while (m.now() < deadline && !res.found) {
+        session_.rng().shuffle(order);
+        for (std::size_t idx : order) {
+            if (m.now() >= deadline)
+                break;
+            auto monitor = PrimeProbeMonitor::make(
+                MonitorKind::Parallel, session_, evsets[idx].sfSet);
+            const Cycles t0 = m.now();
+            auto detections =
+                monitor->collectTrace(t0 + params.traceDuration);
+            ++res.setsScanned;
+            if (detections.size() < params.minAccesses ||
+                detections.size() > params.maxAccesses)
+                continue;
+            for (auto &d : detections)
+                d -= t0;
+            if (!classifier_.isTarget(classifier_.features(detections)))
+                continue;
+            if (params.fpFilter && !plausibleNonceTrace(detections))
+                continue;
+            res.found = true;
+            res.evsetIndex = idx;
+            break;
+        }
+    }
+    res.elapsed = m.now() - start;
+    return res;
+}
+
+} // namespace llcf

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Target-set identification in the frequency domain (paper Sections
+ * 6.2 and 7.2, Table 6): collect a short Prime+Probe access trace per
+ * candidate SF set, estimate its power spectral density with Welch's
+ * method, and classify target vs non-target with an SVM trained on
+ * labelled traces (polynomial kernel, like the paper's scikit-learn
+ * model).
+ */
+
+#ifndef LLCF_ATTACK_SCANNER_HH
+#define LLCF_ATTACK_SCANNER_HH
+
+#include "attack/monitor.hh"
+#include "evset/builder.hh"
+#include "ml/svm.hh"
+#include "signal/welch.hh"
+#include "victim/victim.hh"
+
+namespace llcf {
+
+/** Scanner parameters (paper Section 7.2). */
+struct ScannerParams
+{
+    Cycles traceDuration = usToCycles(500.0);
+    unsigned minAccesses = 50;  //!< preliminary filter lower bound
+    unsigned maxAccesses = 400; //!< preliminary filter upper bound
+    Cycles binCycles = 1024;    //!< event-binning resolution
+    WelchParams welch{};        //!< PSD estimation parameters
+    Cycles timeout = secToCycles(60.0);
+    /** Apply the nonce-extraction false-positive filter (used for
+     *  WholeSys in the paper). */
+    bool fpFilter = false;
+};
+
+/**
+ * SVM-backed classifier over PSD features of an access trace.
+ */
+class TraceClassifier
+{
+  public:
+    explicit TraceClassifier(const ScannerParams &params = {});
+
+    /** PSD feature vector of a detection-timestamp trace. */
+    std::vector<double> features(const std::vector<Cycles> &rel_times)
+        const;
+
+    /** Fit the scaler and SVM on labelled feature rows. */
+    void train(Dataset data);
+
+    /** True iff the trace looks like the target set. */
+    bool isTarget(const std::vector<double> &feature_row) const;
+
+    /** Metrics on a labelled validation set. */
+    BinaryMetrics validate(const Dataset &data) const;
+
+    const ScannerParams &params() const { return params_; }
+
+  private:
+    ScannerParams params_;
+    StandardScaler scaler_;
+    KernelSvm svm_;
+};
+
+/**
+ * Generates labelled training traces by monitoring target and
+ * non-target sets of a controlled victim — the offline training the
+ * paper performs on hosts it owns (Section 7.2).
+ */
+class ScannerTrainer
+{
+  public:
+    ScannerTrainer(AttackSession &session, VictimService &victim,
+                   const CandidatePool &pool);
+
+    /**
+     * Collect @p per_class labelled traces of each class and return
+     * the feature dataset (+1 = target set).
+     */
+    Dataset collect(const TraceClassifier &featurizer,
+                    unsigned target_traces, unsigned nontarget_traces);
+
+  private:
+    AttackSession &session_;
+    VictimService &victim_;
+    const CandidatePool &pool_;
+};
+
+/** Scan outcome (Table 6 metrics). */
+struct ScanResult
+{
+    bool found = false;
+    std::size_t evsetIndex = 0; //!< index into the scanned evsets
+    Cycles elapsed = 0;
+    unsigned setsScanned = 0;
+
+    /** Sets scanned per second of virtual time. */
+    double
+    scanRate() const
+    {
+        const double sec = cyclesToSec(elapsed);
+        return sec > 0.0 ? setsScanned / sec : 0.0;
+    }
+};
+
+/**
+ * The online scanner: sweeps candidate eviction sets while the victim
+ * serves requests, classifying each trace until the target is found
+ * or the timeout expires.
+ */
+class TargetSetScanner
+{
+  public:
+    TargetSetScanner(AttackSession &session,
+                     const TraceClassifier &classifier);
+
+    /**
+     * Scan @p evsets repeatedly until a positive classification or
+     * timeout.  The caller must keep the victim executing (e.g. by
+     * pre-scheduling requests across the scan window).
+     */
+    ScanResult scan(const std::vector<BuiltEvictionSet> &evsets);
+
+  private:
+    /** Cheap nonce-shaped sanity filter for WholeSys false positives. */
+    bool plausibleNonceTrace(const std::vector<Cycles> &rel_times) const;
+
+    AttackSession &session_;
+    const TraceClassifier &classifier_;
+};
+
+} // namespace llcf
+
+#endif // LLCF_ATTACK_SCANNER_HH

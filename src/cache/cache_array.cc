@@ -1,0 +1,131 @@
+#include "cache_array.hh"
+
+#include "common/log.hh"
+
+namespace llcf {
+
+CacheArray::CacheArray(const CacheGeometry &geom, ReplKind repl)
+    : geom_(geom), policy_(makeReplPolicy(repl))
+{
+    geom_.check();
+    replBytesPerSet_ = policy_->stateBytes(geom_.ways);
+    lines_.resize(static_cast<std::size_t>(geom_.totalSets()) * geom_.ways);
+    replData_.resize(static_cast<std::size_t>(geom_.totalSets()) *
+                     replBytesPerSet_);
+    for (unsigned s = 0; s < geom_.totalSets(); ++s)
+        policy_->reset(replState(s), geom_.ways);
+}
+
+std::uint8_t *
+CacheArray::replState(unsigned set)
+{
+    return replData_.data() + static_cast<std::size_t>(set) *
+           replBytesPerSet_;
+}
+
+const std::uint8_t *
+CacheArray::replState(unsigned set) const
+{
+    return replData_.data() + static_cast<std::size_t>(set) *
+           replBytesPerSet_;
+}
+
+std::optional<unsigned>
+CacheArray::findWay(unsigned set, Addr line_addr) const
+{
+    const CacheLine *base = &lines_[static_cast<std::size_t>(set) *
+                                    geom_.ways];
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (base[w].valid() && base[w].lineAddr == line_addr)
+            return w;
+    }
+    return std::nullopt;
+}
+
+const CacheLine &
+CacheArray::line(unsigned set, unsigned way) const
+{
+    return lines_[static_cast<std::size_t>(set) * geom_.ways + way];
+}
+
+void
+CacheArray::onHit(unsigned set, unsigned way)
+{
+    policy_->onHit(replState(set), geom_.ways, way);
+}
+
+FillResult
+CacheArray::fill(unsigned set, const CacheLine &new_line, Rng &rng)
+{
+    CacheLine *base = &lines_[static_cast<std::size_t>(set) * geom_.ways];
+    FillResult res;
+
+    // Fill an invalid way if one exists.
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        if (!base[w].valid()) {
+            base[w] = new_line;
+            res.way = w;
+            policy_->onFill(replState(set), geom_.ways, w);
+            return res;
+        }
+    }
+
+    // All ways valid: evict the policy victim.
+    const unsigned vic = policy_->victim(replState(set), geom_.ways, rng);
+    res.way = vic;
+    res.evicted = true;
+    res.victim = base[vic];
+    base[vic] = new_line;
+    policy_->onFill(replState(set), geom_.ways, vic);
+    return res;
+}
+
+void
+CacheArray::invalidateWay(unsigned set, unsigned way)
+{
+    lines_[static_cast<std::size_t>(set) * geom_.ways + way] = CacheLine{};
+}
+
+std::optional<CacheLine>
+CacheArray::invalidateLine(unsigned set, Addr line_addr)
+{
+    auto way = findWay(set, line_addr);
+    if (!way)
+        return std::nullopt;
+    CacheLine victim = line(set, *way);
+    invalidateWay(set, *way);
+    return victim;
+}
+
+void
+CacheArray::setLineState(unsigned set, unsigned way, CohState coh,
+                         std::uint8_t owner)
+{
+    CacheLine &l = lines_[static_cast<std::size_t>(set) * geom_.ways + way];
+    if (!l.valid())
+        panic("setLineState on invalid way %u", way);
+    l.coh = coh;
+    l.owner = owner;
+}
+
+unsigned
+CacheArray::validCount(unsigned set) const
+{
+    const CacheLine *base = &lines_[static_cast<std::size_t>(set) *
+                                    geom_.ways];
+    unsigned n = 0;
+    for (unsigned w = 0; w < geom_.ways; ++w)
+        n += base[w].valid() ? 1 : 0;
+    return n;
+}
+
+void
+CacheArray::flushAll()
+{
+    for (auto &l : lines_)
+        l = CacheLine{};
+    for (unsigned s = 0; s < geom_.totalSets(); ++s)
+        policy_->reset(replState(s), geom_.ways);
+}
+
+} // namespace llcf

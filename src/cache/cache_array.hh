@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Storage array for one cache structure: lines, per-set replacement
+ * state, fill/evict/invalidate operations.
+ *
+ * The array is geometry-agnostic about indexing: callers (the Machine)
+ * compute a flat set id (slice * sets_per_slice + set_index) and the
+ * array manages ways within that set.  Lines carry a coherence state so
+ * the snoop filter / LLC interplay of Section 2.3 of the paper can be
+ * modelled: Exclusive/Modified lines live in private caches and are
+ * tracked by the SF; Shared lines are tracked by (and resident in)
+ * the LLC.
+ */
+
+#ifndef LLCF_CACHE_CACHE_ARRAY_HH
+#define LLCF_CACHE_CACHE_ARRAY_HH
+
+#include <optional>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/replacement.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace llcf {
+
+/** MESI-style coherence state of a cached line. */
+enum class CohState : std::uint8_t {
+    Invalid = 0,
+    Exclusive, //!< private to one core, tracked by the SF
+    Modified,  //!< private dirty, tracked by the SF
+    Shared,    //!< present in the LLC (possibly also in private caches)
+};
+
+/** One cache line's bookkeeping. */
+struct CacheLine
+{
+    Addr lineAddr = 0;                  //!< line-aligned physical address
+    CohState coh = CohState::Invalid;
+    std::uint8_t owner = 0;             //!< owning core for private lines
+
+    bool valid() const { return coh != CohState::Invalid; }
+};
+
+/** Result of filling a line into a set. */
+struct FillResult
+{
+    unsigned way = 0;          //!< way the new line landed in
+    bool evicted = false;      //!< true iff a valid line was displaced
+    CacheLine victim;          //!< the displaced line, if any
+};
+
+/**
+ * A flat array of cache sets with pluggable replacement.
+ *
+ * All state is stored in contiguous vectors so a 57,344-set LLC costs
+ * ~10 MB and a lookup is one indexed scan of <= associativity entries.
+ */
+class CacheArray
+{
+  public:
+    /**
+     * @param geom Geometry (ways x sets x slices).
+     * @param repl Replacement policy kind for every set.
+     */
+    CacheArray(const CacheGeometry &geom, ReplKind repl);
+
+    /** The geometry this array was built with. */
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Replacement policy kind. */
+    ReplKind replKind() const { return policy_->kind(); }
+
+    /** Flat set id from slice and per-slice index. */
+    unsigned
+    flatSet(unsigned slice, unsigned index) const
+    {
+        return slice * geom_.sets + index;
+    }
+
+    /**
+     * Find the way holding @p line_addr in @p set.
+     * @return way index, or std::nullopt on miss.
+     */
+    std::optional<unsigned> findWay(unsigned set, Addr line_addr) const;
+
+    /** Read a line. @pre way < ways */
+    const CacheLine &line(unsigned set, unsigned way) const;
+
+    /** Promote @p way on a hit (replacement update only). */
+    void onHit(unsigned set, unsigned way);
+
+    /**
+     * Insert @p new_line into @p set, filling an invalid way if one
+     * exists, otherwise evicting the policy's victim.
+     */
+    FillResult fill(unsigned set, const CacheLine &new_line, Rng &rng);
+
+    /** Invalidate a specific way. */
+    void invalidateWay(unsigned set, unsigned way);
+
+    /**
+     * Invalidate @p line_addr if present.
+     * @return the invalidated line, or std::nullopt if absent.
+     */
+    std::optional<CacheLine> invalidateLine(unsigned set, Addr line_addr);
+
+    /** Update a resident line's coherence state / owner in place. */
+    void setLineState(unsigned set, unsigned way, CohState coh,
+                      std::uint8_t owner);
+
+    /** Number of valid lines in a set. */
+    unsigned validCount(unsigned set) const;
+
+    /** Invalidate every line and reset replacement state. */
+    void flushAll();
+
+  private:
+    std::uint8_t *replState(unsigned set);
+    const std::uint8_t *replState(unsigned set) const;
+
+    CacheGeometry geom_;
+    std::unique_ptr<ReplPolicy> policy_;
+    std::size_t replBytesPerSet_;
+    std::vector<CacheLine> lines_;       //!< [set * ways + way]
+    std::vector<std::uint8_t> replData_; //!< [set * replBytesPerSet]
+};
+
+} // namespace llcf
+
+#endif // LLCF_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Static geometry of one cache structure (L1, L2, LLC slice, SF slice).
+ *
+ * Set-index extraction follows the paper's Figure 1: the L2 indexes with
+ * PA bits 15..6, the LLC/SF with PA bits 16..6, and every PA bit above
+ * the line offset feeds the slice hash.
+ */
+
+#ifndef LLCF_CACHE_GEOMETRY_HH
+#define LLCF_CACHE_GEOMETRY_HH
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace llcf {
+
+/**
+ * Geometry of a set-associative cache structure.
+ *
+ * @c sets is the per-slice set count; @c slices is 1 for private caches.
+ */
+struct CacheGeometry
+{
+    unsigned ways = 0;   //!< associativity W
+    unsigned sets = 0;   //!< sets per slice (power of two)
+    unsigned slices = 1; //!< number of slices (1 for private caches)
+
+    /** Total number of sets across all slices. */
+    unsigned totalSets() const { return sets * slices; }
+
+    /** Total line capacity. */
+    std::size_t lineCapacity() const
+    {
+        return static_cast<std::size_t>(ways) * totalSets();
+    }
+
+    /** Number of set-index bits (log2 of per-slice sets). */
+    unsigned indexBits() const { return log2i(sets); }
+
+    /** Per-slice set index of a physical line address. */
+    unsigned
+    setIndex(Addr pa) const
+    {
+        return static_cast<unsigned>((pa >> kLineBits) & (sets - 1));
+    }
+
+    /**
+     * Number of set-index bits the attacker cannot control through the
+     * page offset (bits above bit 11).  E.g. Skylake-SP L2: 4; LLC: 5.
+     */
+    unsigned
+    uncontrolledIndexBits() const
+    {
+        unsigned total = indexBits();
+        unsigned controlled = kPageBits - kLineBits; // 6 offset-derived
+        return total > controlled ? total - controlled : 0;
+    }
+
+    /**
+     * Cache uncertainty U (Section 2.2.1): possible sets a fixed page
+     * offset can map to.  For sliced caches this multiplies by the
+     * slice count because the hash is attacker-opaque.
+     */
+    unsigned
+    uncertainty() const
+    {
+        return (1u << uncontrolledIndexBits()) * slices;
+    }
+
+    /** Validate invariants; call after construction. */
+    void
+    check() const
+    {
+        if (ways == 0 || sets == 0 || slices == 0)
+            fatal("cache geometry with zero dimension");
+        if (!isPowerOf2(sets))
+            fatal("per-slice set count must be a power of two");
+    }
+};
+
+} // namespace llcf
+
+#endif // LLCF_CACHE_GEOMETRY_HH

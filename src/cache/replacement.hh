@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Replacement policies for set-associative caches.
+ *
+ * Policies are stateless strategy objects operating on a small per-set
+ * byte buffer owned by the cache array, so a machine with tens of
+ * thousands of sets stays compact.  The paper's Parallel Probing claims
+ * independence from the replacement policy; having LRU / Tree-PLRU /
+ * SRRIP / Random selectable per structure lets the ablation benches
+ * test that claim.
+ */
+
+#ifndef LLCF_CACHE_REPLACEMENT_HH
+#define LLCF_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hh"
+
+namespace llcf {
+
+/** Selectable replacement policy kinds. */
+enum class ReplKind { LRU, TreePLRU, SRRIP, Random };
+
+/** Human-readable policy name. */
+const char *replKindName(ReplKind kind);
+
+/**
+ * Abstract replacement policy.
+ *
+ * One instance serves every set of a cache structure; all mutable
+ * state lives in the per-set byte buffer passed to each call.
+ */
+class ReplPolicy
+{
+  public:
+    virtual ~ReplPolicy() = default;
+
+    /** Bytes of per-set state required for @p ways ways. */
+    virtual std::size_t stateBytes(unsigned ways) const = 0;
+
+    /** Initialise per-set state to the cold baseline. */
+    virtual void reset(std::uint8_t *st, unsigned ways) const = 0;
+
+    /** Update state on a hit to @p way. */
+    virtual void onHit(std::uint8_t *st, unsigned ways, unsigned way)
+        const = 0;
+
+    /** Update state when a new line is filled into @p way. */
+    virtual void onFill(std::uint8_t *st, unsigned ways, unsigned way)
+        const = 0;
+
+    /**
+     * Choose the victim way.  The cache array fills invalid ways first,
+     * so this is only consulted when every way is valid.
+     */
+    virtual unsigned victim(std::uint8_t *st, unsigned ways, Rng &rng)
+        const = 0;
+
+    /** Policy kind tag. */
+    virtual ReplKind kind() const = 0;
+};
+
+/** True LRU via per-way age counters (0 = MRU). */
+class LruPolicy : public ReplPolicy
+{
+  public:
+    std::size_t stateBytes(unsigned ways) const override;
+    void reset(std::uint8_t *st, unsigned ways) const override;
+    void onHit(std::uint8_t *st, unsigned ways, unsigned way)
+        const override;
+    void onFill(std::uint8_t *st, unsigned ways, unsigned way)
+        const override;
+    unsigned victim(std::uint8_t *st, unsigned ways, Rng &rng)
+        const override;
+    ReplKind kind() const override { return ReplKind::LRU; }
+};
+
+/** Tree pseudo-LRU over the next power-of-two of ways. */
+class TreePlruPolicy : public ReplPolicy
+{
+  public:
+    std::size_t stateBytes(unsigned ways) const override;
+    void reset(std::uint8_t *st, unsigned ways) const override;
+    void onHit(std::uint8_t *st, unsigned ways, unsigned way)
+        const override;
+    void onFill(std::uint8_t *st, unsigned ways, unsigned way)
+        const override;
+    unsigned victim(std::uint8_t *st, unsigned ways, Rng &rng)
+        const override;
+    ReplKind kind() const override { return ReplKind::TreePLRU; }
+
+  private:
+    void touch(std::uint8_t *st, unsigned ways, unsigned way) const;
+};
+
+/** Static RRIP with 2-bit re-reference prediction values. */
+class SrripPolicy : public ReplPolicy
+{
+  public:
+    std::size_t stateBytes(unsigned ways) const override;
+    void reset(std::uint8_t *st, unsigned ways) const override;
+    void onHit(std::uint8_t *st, unsigned ways, unsigned way)
+        const override;
+    void onFill(std::uint8_t *st, unsigned ways, unsigned way)
+        const override;
+    unsigned victim(std::uint8_t *st, unsigned ways, Rng &rng)
+        const override;
+    ReplKind kind() const override { return ReplKind::SRRIP; }
+
+  private:
+    static constexpr std::uint8_t kMaxRrpv = 3;
+};
+
+/** Uniform random victim selection (no per-set state). */
+class RandomPolicy : public ReplPolicy
+{
+  public:
+    std::size_t stateBytes(unsigned ways) const override;
+    void reset(std::uint8_t *st, unsigned ways) const override;
+    void onHit(std::uint8_t *st, unsigned ways, unsigned way)
+        const override;
+    void onFill(std::uint8_t *st, unsigned ways, unsigned way)
+        const override;
+    unsigned victim(std::uint8_t *st, unsigned ways, Rng &rng)
+        const override;
+    ReplKind kind() const override { return ReplKind::Random; }
+};
+
+/** Factory for policy instances. */
+std::unique_ptr<ReplPolicy> makeReplPolicy(ReplKind kind);
+
+} // namespace llcf
+
+#endif // LLCF_CACHE_REPLACEMENT_HH

@@ -1,0 +1,51 @@
+#include "slice_hash.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace llcf {
+
+OpaqueSliceHash::OpaqueSliceHash(unsigned n_slices, std::uint64_t salt)
+    : nSlices_(n_slices), salt_(salt)
+{
+    if (n_slices == 0)
+        fatal("slice hash needs at least one slice");
+}
+
+unsigned
+OpaqueSliceHash::slice(Addr pa) const
+{
+    // Hash the line address (all bits above the line offset).  mix64 is
+    // a strong 64-bit finaliser, so every PA bit influences the slice,
+    // matching the attacker-visible behaviour of the real hash.
+    const std::uint64_t h = mix64((pa >> kLineBits) ^ salt_);
+    return static_cast<unsigned>(h % nSlices_);
+}
+
+XorMatrixSliceHash::XorMatrixSliceHash(std::vector<Addr> masks)
+    : masks_(std::move(masks))
+{
+    if (masks_.empty() || masks_.size() > 6)
+        fatal("XOR slice hash supports 1..6 slice bits");
+}
+
+unsigned
+XorMatrixSliceHash::slice(Addr pa) const
+{
+    unsigned s = 0;
+    for (std::size_t i = 0; i < masks_.size(); ++i) {
+        unsigned bit = std::popcount(pa & masks_[i]) & 1u;
+        s |= bit << i;
+    }
+    return s;
+}
+
+std::unique_ptr<SliceHash>
+makeOpaqueSliceHash(unsigned n_slices, std::uint64_t salt)
+{
+    return std::make_unique<OpaqueSliceHash>(n_slices, salt);
+}
+
+} // namespace llcf

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * LLC/SF slice-hash functions.
+ *
+ * Intel's slice hash consumes every PA bit above the line offset and is
+ * complex and non-linear for non-power-of-two slice counts [McCalpin 21],
+ * so partial control of the low PA bits does not narrow the possible
+ * slices (Section 2.2.1).  Two models are provided:
+ *
+ *  - OpaqueSliceHash: a keyed pseudo-random hash of PA[.. :6].  It has
+ *    exactly the properties the attack algorithms rely on (deterministic,
+ *    attacker-opaque, all-bit-dependent) and supports any slice count.
+ *  - XorMatrixSliceHash: the classic documented XOR-of-bit-masks hash
+ *    for power-of-two slice counts, for machines where that applies.
+ */
+
+#ifndef LLCF_CACHE_SLICE_HASH_HH
+#define LLCF_CACHE_SLICE_HASH_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace llcf {
+
+/** Maps a physical line address to an LLC/SF slice. */
+class SliceHash
+{
+  public:
+    virtual ~SliceHash() = default;
+
+    /** Slice index in [0, slices()). */
+    virtual unsigned slice(Addr pa) const = 0;
+
+    /** Number of slices this hash targets. */
+    virtual unsigned slices() const = 0;
+};
+
+/**
+ * Keyed pseudo-random slice hash supporting arbitrary slice counts
+ * (e.g. the 28-, 26- and 22-slice parts in the paper).
+ */
+class OpaqueSliceHash : public SliceHash
+{
+  public:
+    /**
+     * @param n_slices Number of slices.
+     * @param salt Per-machine key, so different simulated hosts have
+     *             different (but internally fixed) slice mappings.
+     */
+    OpaqueSliceHash(unsigned n_slices, std::uint64_t salt);
+
+    unsigned slice(Addr pa) const override;
+    unsigned slices() const override { return nSlices_; }
+
+  private:
+    unsigned nSlices_;
+    std::uint64_t salt_;
+};
+
+/**
+ * XOR-matrix slice hash: slice bit i is the parity of (pa & mask[i]).
+ * Only valid for power-of-two slice counts.
+ */
+class XorMatrixSliceHash : public SliceHash
+{
+  public:
+    /**
+     * @param masks One PA bit mask per slice-index bit.
+     */
+    explicit XorMatrixSliceHash(std::vector<Addr> masks);
+
+    unsigned slice(Addr pa) const override;
+    unsigned slices() const override { return 1u << masks_.size(); }
+
+  private:
+    std::vector<Addr> masks_;
+};
+
+/** Build the default opaque hash for a machine. */
+std::unique_ptr<SliceHash> makeOpaqueSliceHash(unsigned n_slices,
+                                               std::uint64_t salt);
+
+} // namespace llcf
+
+#endif // LLCF_CACHE_SLICE_HASH_HH

@@ -1,0 +1,84 @@
+#include "log.hh"
+
+namespace llcf {
+
+namespace {
+
+LogLevel gLevel = LogLevel::Warn;
+
+void
+vprint(const char *tag, const char *fmt, std::va_list args)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Info)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vprint("info", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Warn)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vprint("warn", fmt, args);
+    va_end(args);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Debug)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vprint("debug", fmt, args);
+    va_end(args);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vprint("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vprint("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+} // namespace llcf

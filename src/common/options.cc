@@ -1,0 +1,62 @@
+#include "options.hh"
+
+#include <cstdlib>
+
+namespace llcf {
+
+std::uint64_t
+envU64(const char *name, std::uint64_t def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    return std::strtoull(v, nullptr, 0);
+}
+
+double
+envDouble(const char *name, double def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    return std::strtod(v, nullptr);
+}
+
+bool
+envBool(const char *name, bool def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    std::string s(v);
+    return !(s == "0" || s == "false" || s == "no" || s == "off");
+}
+
+std::string
+envString(const char *name, const std::string &def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    return v;
+}
+
+bool
+fullScale()
+{
+    return envBool("LLCF_FULL_SCALE", false);
+}
+
+std::uint64_t
+baseSeed()
+{
+    return envU64("LLCF_SEED", 42);
+}
+
+std::size_t
+trialCount(std::size_t def)
+{
+    return static_cast<std::size_t>(envU64("LLCF_TRIALS", def));
+}
+
+} // namespace llcf

@@ -1,0 +1,153 @@
+#include "rng.hh"
+
+#include <cmath>
+
+namespace llcf {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mix64(std::uint64_t v)
+{
+    return splitmix64(v);
+}
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    // Lemire-style rejection to remove modulo bias.
+    std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasGaussSpare_) {
+        hasGaussSpare_ = false;
+        return gaussSpare_;
+    }
+    double u1, u2;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    u2 = nextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    gaussSpare_ = mag * std::sin(2.0 * M_PI * u2);
+    hasGaussSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    return mean + stddev * nextGaussian();
+}
+
+std::uint64_t
+Rng::nextPoisson(double lambda)
+{
+    if (lambda <= 0.0)
+        return 0;
+    if (lambda < 30.0) {
+        // Knuth's product-of-uniforms method for small lambda.
+        const double limit = std::exp(-lambda);
+        std::uint64_t k = 0;
+        double prod = nextDouble();
+        while (prod > limit) {
+            ++k;
+            prod *= nextDouble();
+        }
+        return k;
+    }
+    // Gaussian approximation for large lambda; adequate for noise
+    // burst counts where lambda is a background access count.
+    double v = nextGaussian(lambda, std::sqrt(lambda));
+    if (v < 0.0)
+        v = 0.0;
+    return static_cast<std::uint64_t>(v + 0.5);
+}
+
+Rng
+Rng::split()
+{
+    return Rng(mix64(next()));
+}
+
+} // namespace llcf

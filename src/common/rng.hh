@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic, fast pseudo-random number generation.
+ *
+ * Every stochastic component of the simulator (page-frame allocation,
+ * tenant noise, replacement tie-breaking, ...) draws from an Rng seeded
+ * explicitly, so whole experiments replay bit-identically from one seed.
+ * The generator is xoshiro256**, seeded through SplitMix64 as its authors
+ * recommend.
+ */
+
+#ifndef LLCF_COMMON_RNG_HH
+#define LLCF_COMMON_RNG_HH
+
+#include <cstdint>
+#include <utility>
+
+namespace llcf {
+
+/** One step of the SplitMix64 stream; also usable as a mixing hash. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Stateless SplitMix64 finaliser: hash a 64-bit value. */
+std::uint64_t mix64(std::uint64_t v);
+
+/**
+ * xoshiro256** pseudo-random generator with distribution helpers.
+ *
+ * Not thread-safe; give each simulated actor its own instance (forked
+ * via split()) so actors stay decoupled and replayable.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via SplitMix64 expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bias-corrected. @pre bound > 0 */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** True with probability @p p (clamped to [0,1]). */
+    bool nextBool(double p);
+
+    /** Exponentially distributed value with the given mean. */
+    double nextExponential(double mean);
+
+    /** Standard normal via Box-Muller (mean 0, stddev 1). */
+    double nextGaussian();
+
+    /** Normal with explicit mean and standard deviation. */
+    double nextGaussian(double mean, double stddev);
+
+    /** Poisson-distributed count with the given mean (lambda). */
+    std::uint64_t nextPoisson(double lambda);
+
+    /**
+     * Fork an independent generator.  The child stream is derived by
+     * hashing this generator's next output, so parent and child do not
+     * overlap in practice.
+     */
+    Rng split();
+
+    /** Fisher-Yates shuffle of a random-access container. */
+    template <typename Container>
+    void
+    shuffle(Container &c)
+    {
+        for (std::size_t i = c.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(nextBelow(i));
+            using std::swap;
+            swap(c[i - 1], c[j]);
+        }
+    }
+
+  private:
+    std::uint64_t s_[4];
+
+    /** Cached second Box-Muller deviate. */
+    double gaussSpare_ = 0.0;
+    bool hasGaussSpare_ = false;
+};
+
+} // namespace llcf
+
+#endif // LLCF_COMMON_RNG_HH

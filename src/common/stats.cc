@@ -1,0 +1,168 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "types.hh"
+
+namespace llcf {
+
+void
+SampleStats::add(double v)
+{
+    samples_.push_back(v);
+    dirty_ = true;
+}
+
+void
+SampleStats::merge(const SampleStats &other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    dirty_ = true;
+}
+
+double
+SampleStats::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : samples_)
+        sum += v;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+SampleStats::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double v : samples_)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+void
+SampleStats::ensureSorted() const
+{
+    if (dirty_ || sorted_.size() != samples_.size()) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        dirty_ = false;
+    }
+}
+
+double
+SampleStats::min() const
+{
+    ensureSorted();
+    return sorted_.front();
+}
+
+double
+SampleStats::max() const
+{
+    ensureSorted();
+    return sorted_.back();
+}
+
+double
+SampleStats::median() const
+{
+    return percentile(50.0);
+}
+
+double
+SampleStats::percentile(double pct) const
+{
+    ensureSorted();
+    if (sorted_.size() == 1)
+        return sorted_.front();
+    double clamped = std::clamp(pct, 0.0, 100.0);
+    double rank = clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void
+SuccessRate::add(bool success)
+{
+    ++trials_;
+    if (success)
+        ++successes_;
+}
+
+double
+SuccessRate::rate() const
+{
+    if (trials_ == 0)
+        return 0.0;
+    return static_cast<double>(successes_) / static_cast<double>(trials_);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples))
+{
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double
+EmpiricalCdf::at(double x) const
+{
+    if (sorted_.empty())
+        return 0.0;
+    auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+double
+EmpiricalCdf::quantile(double q) const
+{
+    double clamped = std::clamp(q, 0.0, 1.0);
+    double rank = clamped * static_cast<double>(sorted_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>>
+EmpiricalCdf::curve(std::size_t points) const
+{
+    std::vector<std::pair<double, double>> out;
+    if (sorted_.empty() || points == 0)
+        return out;
+    const double lo = sorted_.front();
+    const double hi = sorted_.back();
+    const double step = points > 1 ? (hi - lo) /
+                        static_cast<double>(points - 1) : 0.0;
+    out.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        double x = lo + step * static_cast<double>(i);
+        out.emplace_back(x, at(x));
+    }
+    return out;
+}
+
+std::string
+formatDuration(double cycles)
+{
+    char buf[64];
+    const double us = cycles / (kCpuGhz * 1e3);
+    if (us < 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1f us", us);
+    else if (us < 1e6)
+        std::snprintf(buf, sizeof(buf), "%.1f ms", us / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f s", us / 1e6);
+    return buf;
+}
+
+} // namespace llcf

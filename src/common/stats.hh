@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Summary statistics and empirical distributions.
+ *
+ * The paper reports success rates, mean/stddev/median execution times and
+ * CDFs (Figure 2); these helpers compute those from collected samples.
+ */
+
+#ifndef LLCF_COMMON_STATS_HH
+#define LLCF_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace llcf {
+
+/**
+ * Accumulates scalar samples and reports order statistics on demand.
+ *
+ * Samples are kept (not streamed) because experiments need exact
+ * medians and percentiles; sample counts here are modest.
+ */
+class SampleStats
+{
+  public:
+    /** Record one sample. */
+    void add(double v);
+
+    /** Append all samples from another accumulator. */
+    void merge(const SampleStats &other);
+
+    /** Number of recorded samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** True iff no samples recorded. */
+    bool empty() const { return samples_.empty(); }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Population standard deviation (0 when fewer than 2 samples). */
+    double stddev() const;
+
+    /** Smallest sample. @pre !empty() */
+    double min() const;
+
+    /** Largest sample. @pre !empty() */
+    double max() const;
+
+    /** Median, by linear interpolation. @pre !empty() */
+    double median() const;
+
+    /**
+     * Percentile in [0, 100] with linear interpolation between ranks.
+     * @pre !empty()
+     */
+    double percentile(double pct) const;
+
+    /** Read-only access to raw samples (unsorted). */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    /** Sort the cached copy if new samples arrived since last query. */
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool dirty_ = false;
+};
+
+/**
+ * Counter of binary outcomes, reporting a success rate.
+ */
+class SuccessRate
+{
+  public:
+    /** Record one trial. */
+    void add(bool success);
+
+    /** Number of trials. */
+    std::size_t trials() const { return trials_; }
+
+    /** Number of successful trials. */
+    std::size_t successes() const { return successes_; }
+
+    /** Fraction of successes in [0,1]; 0 when no trials. */
+    double rate() const;
+
+  private:
+    std::size_t trials_ = 0;
+    std::size_t successes_ = 0;
+};
+
+/**
+ * Empirical cumulative distribution function over recorded samples.
+ */
+class EmpiricalCdf
+{
+  public:
+    /** Build from a sample vector (copied and sorted). */
+    explicit EmpiricalCdf(std::vector<double> samples);
+
+    /** P(X <= x) over the recorded samples. */
+    double at(double x) const;
+
+    /** Inverse CDF: the q-quantile for q in [0,1]. @pre !empty() */
+    double quantile(double q) const;
+
+    /** Number of samples. */
+    std::size_t size() const { return sorted_.size(); }
+
+    /**
+     * Evaluate the CDF at @p points evenly spaced values covering
+     * [min, max]; returns (x, cdf) pairs, e.g. for plotting Figure 2.
+     */
+    std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+  private:
+    std::vector<double> sorted_;
+};
+
+/** Format a cycles-denominated duration with an adaptive unit. */
+std::string formatDuration(double cycles);
+
+} // namespace llcf
+
+#endif // LLCF_COMMON_STATS_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by every module.
+ *
+ * The simulator models a 2 GHz Intel Skylake-SP-class server, so time is
+ * expressed in CPU cycles (Cycles) and converted to wall-clock units with
+ * the helpers below.
+ */
+
+#ifndef LLCF_COMMON_TYPES_HH
+#define LLCF_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace llcf {
+
+/** A physical or virtual memory address. */
+using Addr = std::uint64_t;
+
+/** A duration or timestamp measured in CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** Signed cycle delta, for differences that may be negative. */
+using CyclesDelta = std::int64_t;
+
+/** Number of bytes in a cache line on all modelled machines. */
+inline constexpr unsigned kLineBytes = 64;
+
+/** log2 of the cache-line size; the low-order line-offset bits. */
+inline constexpr unsigned kLineBits = 6;
+
+/** Standard small-page size; user containers cannot get huge pages. */
+inline constexpr unsigned kPageBytes = 4096;
+
+/** log2 of the page size; the page-offset bits shared by VA and PA. */
+inline constexpr unsigned kPageBits = 12;
+
+/** Cache lines per 4 kB page (64). */
+inline constexpr unsigned kLinesPerPage = kPageBytes / kLineBytes;
+
+/** Nominal core frequency of the modelled hosts (Table 5: 2 GHz). */
+inline constexpr double kCpuGhz = 2.0;
+
+/** Convert a cycle count to microseconds at the modelled frequency. */
+constexpr double
+cyclesToUs(Cycles c)
+{
+    return static_cast<double>(c) / (kCpuGhz * 1e3);
+}
+
+/** Convert a cycle count to milliseconds at the modelled frequency. */
+constexpr double
+cyclesToMs(Cycles c)
+{
+    return static_cast<double>(c) / (kCpuGhz * 1e6);
+}
+
+/** Convert a cycle count to seconds at the modelled frequency. */
+constexpr double
+cyclesToSec(Cycles c)
+{
+    return static_cast<double>(c) / (kCpuGhz * 1e9);
+}
+
+/** Convert microseconds to cycles at the modelled frequency. */
+constexpr Cycles
+usToCycles(double us)
+{
+    return static_cast<Cycles>(us * kCpuGhz * 1e3);
+}
+
+/** Convert milliseconds to cycles at the modelled frequency. */
+constexpr Cycles
+msToCycles(double ms)
+{
+    return static_cast<Cycles>(ms * kCpuGhz * 1e6);
+}
+
+/** Convert seconds to cycles at the modelled frequency. */
+constexpr Cycles
+secToCycles(double sec)
+{
+    return static_cast<Cycles>(sec * kCpuGhz * 1e9);
+}
+
+/** Extract the line-aligned address (strip the line offset). */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Extract the page offset (low 12 bits) of an address. */
+constexpr unsigned
+pageOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (kPageBytes - 1));
+}
+
+/** Extract the line index within the page (bits 11..6). */
+constexpr unsigned
+pageLineIndex(Addr a)
+{
+    return static_cast<unsigned>((a >> kLineBits) & (kLinesPerPage - 1));
+}
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+} // namespace llcf
+
+#endif // LLCF_COMMON_TYPES_HH

@@ -1,0 +1,92 @@
+#include "ecdsa.hh"
+
+#include "common/log.hh"
+
+namespace llcf {
+
+Ecdsa::Ecdsa(Rng rng) : curve_(Sect571r1::instance()), rng_(rng)
+{
+}
+
+EcdsaKeyPair
+Ecdsa::generateKey()
+{
+    EcdsaKeyPair kp;
+    do {
+        kp.d = BigUint::randomBelow(curve_.order(), rng_);
+    } while (kp.d.isZero());
+    kp.q = curve_.scalarMul(kp.d, curve_.generator());
+    return kp;
+}
+
+BigUint
+Ecdsa::hashToInt(const Sha256Digest &digest) const
+{
+    // The digest (256 bits) is shorter than the order (570 bits), so
+    // the whole digest is used, big-endian.
+    std::vector<std::uint64_t> limbs(4, 0);
+    for (unsigned i = 0; i < 32; ++i) {
+        limbs[3 - i / 8] |= static_cast<std::uint64_t>(digest[i])
+                            << (8 * (7 - (i % 8)));
+    }
+    return BigUint::fromLimbs(std::move(limbs));
+}
+
+SigningRecord
+Ecdsa::signWithTrace(const Sha256Digest &digest, const BigUint &d)
+{
+    const BigUint &n = curve_.order();
+    const BigUint z = hashToInt(digest);
+    SigningRecord rec;
+    for (;;) {
+        BigUint k;
+        do {
+            k = BigUint::randomBelow(n, rng_);
+        } while (k.isZero());
+
+        // The vulnerable code path: x-only Montgomery ladder.
+        auto ladder = curve_.ladderMulX(k, curve_.generator().x);
+        if (ladder.infinity)
+            continue;
+        const BigUint r = ladder.x.toBigUint() % n;
+        if (r.isZero())
+            continue;
+        const BigUint kinv = k.invMod(n);
+        const BigUint s = BigUint::mulMod(
+            kinv, BigUint::addMod(z, BigUint::mulMod(r, d, n), n), n);
+        if (s.isZero())
+            continue;
+
+        rec.signature = EcdsaSignature{r, s};
+        rec.nonce = k;
+        rec.ladderBits = std::move(ladder.bits);
+        return rec;
+    }
+}
+
+EcdsaSignature
+Ecdsa::sign(const Sha256Digest &digest, const BigUint &d)
+{
+    return signWithTrace(digest, d).signature;
+}
+
+bool
+Ecdsa::verify(const Sha256Digest &digest, const EcdsaSignature &sig,
+              const Ec2mPoint &q) const
+{
+    const BigUint &n = curve_.order();
+    if (sig.r.isZero() || sig.s.isZero() || sig.r >= n || sig.s >= n)
+        return false;
+    const BigUint z = hashToInt(digest);
+    const BigUint w = sig.s.invMod(n);
+    const BigUint u1 = BigUint::mulMod(z, w, n);
+    const BigUint u2 = BigUint::mulMod(sig.r, w, n);
+    const Ec2mPoint p =
+        curve_.add(curve_.scalarMul(u1, curve_.generator()),
+                   curve_.scalarMul(u2, q));
+    if (p.infinity)
+        return false;
+    return (p.x.toBigUint() % n) == sig.r;
+}
+
+} // namespace llcf

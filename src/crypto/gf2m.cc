@@ -1,0 +1,295 @@
+#include "gf2m.hh"
+
+#include "common/log.hh"
+
+namespace llcf {
+
+namespace {
+
+constexpr unsigned kWords = Gf571::kWords;
+constexpr unsigned kBits = Gf571::kBits;
+
+/** Carry-less 64x64 -> 128 multiplication via a 4-bit window. */
+inline void
+clmul64(std::uint64_t a, std::uint64_t b, std::uint64_t &hi,
+        std::uint64_t &lo)
+{
+    std::uint64_t tab_lo[16], tab_hi[16];
+    tab_lo[0] = 0;
+    tab_hi[0] = 0;
+    for (unsigned n = 1; n < 16; ++n) {
+        std::uint64_t l = 0, h = 0;
+        for (unsigned j = 0; j < 4; ++j) {
+            if (n & (1u << j)) {
+                l ^= a << j;
+                h ^= j ? a >> (64 - j) : 0;
+            }
+        }
+        tab_lo[n] = l;
+        tab_hi[n] = h;
+    }
+    hi = 0;
+    lo = 0;
+    for (int nib = 15; nib >= 0; --nib) {
+        hi = (hi << 4) | (lo >> 60);
+        lo <<= 4;
+        const unsigned idx = (b >> (4 * nib)) & 0xf;
+        lo ^= tab_lo[idx];
+        hi ^= tab_hi[idx];
+    }
+}
+
+/** XOR @p word shifted to absolute bit position @p bitpos into p. */
+inline void
+xorShifted(std::uint64_t *p, std::uint64_t word, unsigned bitpos)
+{
+    const unsigned w = bitpos / 64;
+    const unsigned s = bitpos % 64;
+    p[w] ^= word << s;
+    if (s)
+        p[w + 1] ^= word >> (64 - s);
+}
+
+/**
+ * Reduce an 18-word product modulo f(x) = x^571 + x^10 + x^5 + x^2 + 1
+ * into the low 9 words.
+ */
+void
+reduce(std::uint64_t p[2 * kWords])
+{
+    for (unsigned i = 2 * kWords - 1; i >= kWords; --i) {
+        const std::uint64_t x = p[i];
+        if (!x)
+            continue;
+        p[i] = 0;
+        const unsigned base = i * 64 - kBits;
+        xorShifted(p, x, base);
+        xorShifted(p, x, base + 2);
+        xorShifted(p, x, base + 5);
+        xorShifted(p, x, base + 10);
+    }
+    // Bits 571..575 live in the top of word 8.
+    const std::uint64_t top = p[kWords - 1] >> 59;
+    if (top) {
+        p[kWords - 1] &= (1ULL << 59) - 1;
+        p[0] ^= top ^ (top << 2) ^ (top << 5) ^ (top << 10);
+    }
+}
+
+/** Bit-spreading table for squaring: byte -> 16-bit interleaved. */
+std::uint16_t
+spreadByte(std::uint8_t b)
+{
+    std::uint16_t out = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        if (b & (1u << i))
+            out |= static_cast<std::uint16_t>(1u << (2 * i));
+    }
+    return out;
+}
+
+// --------------------------- fixed-width polynomial helpers (EEA) ---
+
+constexpr unsigned kPolyWords = kWords + 1; // degree up to 571 (f itself)
+
+int
+polyDegree(const std::uint64_t *p)
+{
+    for (int i = kPolyWords - 1; i >= 0; --i) {
+        if (p[i]) {
+            int bit = 63;
+            while (!(p[i] & (1ULL << bit)))
+                --bit;
+            return i * 64 + bit;
+        }
+    }
+    return -1;
+}
+
+void
+polyXorShifted(std::uint64_t *dst, const std::uint64_t *src,
+               unsigned shift)
+{
+    const unsigned w = shift / 64;
+    const unsigned s = shift % 64;
+    for (unsigned i = 0; i < kPolyWords; ++i) {
+        if (!src[i])
+            continue;
+        if (i + w < kPolyWords)
+            dst[i + w] ^= src[i] << s;
+        if (s && i + w + 1 < kPolyWords)
+            dst[i + w + 1] ^= src[i] >> (64 - s);
+    }
+}
+
+} // namespace
+
+Gf571
+Gf571::fromHex(const std::string &hex)
+{
+    return fromBigUint(BigUint::fromHex(hex));
+}
+
+Gf571
+Gf571::fromBigUint(const BigUint &v)
+{
+    if (v.bitLength() > kBits)
+        fatal("GF(2^571) element exceeds 571 bits");
+    Gf571 out;
+    const auto &limbs = v.limbs();
+    for (std::size_t i = 0; i < limbs.size() && i < kWords; ++i)
+        out.w_[i] = limbs[i];
+    return out;
+}
+
+BigUint
+Gf571::toBigUint() const
+{
+    return BigUint::fromLimbs(
+        std::vector<std::uint64_t>(w_.begin(), w_.end()));
+}
+
+std::string
+Gf571::toHex() const
+{
+    return toBigUint().toHex();
+}
+
+bool
+Gf571::isZero() const
+{
+    for (std::uint64_t w : w_) {
+        if (w)
+            return false;
+    }
+    return true;
+}
+
+bool
+Gf571::isOne() const
+{
+    if (w_[0] != 1)
+        return false;
+    for (unsigned i = 1; i < kWords; ++i) {
+        if (w_[i])
+            return false;
+    }
+    return true;
+}
+
+int
+Gf571::degree() const
+{
+    for (int i = kWords - 1; i >= 0; --i) {
+        if (w_[i]) {
+            int bit = 63;
+            while (!(w_[i] & (1ULL << bit)))
+                --bit;
+            return i * 64 + bit;
+        }
+    }
+    return -1;
+}
+
+Gf571
+Gf571::operator+(const Gf571 &o) const
+{
+    Gf571 out;
+    for (unsigned i = 0; i < kWords; ++i)
+        out.w_[i] = w_[i] ^ o.w_[i];
+    return out;
+}
+
+Gf571
+Gf571::operator*(const Gf571 &o) const
+{
+    std::uint64_t prod[2 * kWords] = {0};
+    for (unsigned i = 0; i < kWords; ++i) {
+        if (!w_[i])
+            continue;
+        for (unsigned j = 0; j < kWords; ++j) {
+            if (!o.w_[j])
+                continue;
+            std::uint64_t hi, lo;
+            clmul64(w_[i], o.w_[j], hi, lo);
+            prod[i + j] ^= lo;
+            prod[i + j + 1] ^= hi;
+        }
+    }
+    reduce(prod);
+    Gf571 out;
+    for (unsigned i = 0; i < kWords; ++i)
+        out.w_[i] = prod[i];
+    return out;
+}
+
+Gf571
+Gf571::square() const
+{
+    std::uint64_t prod[2 * kWords] = {0};
+    for (unsigned i = 0; i < kWords; ++i) {
+        const std::uint64_t w = w_[i];
+        std::uint64_t lo = 0, hi = 0;
+        for (unsigned byte = 0; byte < 4; ++byte) {
+            lo |= static_cast<std::uint64_t>(spreadByte(
+                      static_cast<std::uint8_t>(w >> (8 * byte))))
+                  << (16 * byte);
+            hi |= static_cast<std::uint64_t>(spreadByte(
+                      static_cast<std::uint8_t>(w >> (8 * (byte + 4)))))
+                  << (16 * byte);
+        }
+        prod[2 * i] = lo;
+        prod[2 * i + 1] = hi;
+    }
+    reduce(prod);
+    Gf571 out;
+    for (unsigned i = 0; i < kWords; ++i)
+        out.w_[i] = prod[i];
+    return out;
+}
+
+Gf571
+Gf571::inverse() const
+{
+    if (isZero())
+        fatal("inverse of zero in GF(2^571)");
+
+    // Polynomial extended Euclid: maintain
+    //   u = g1 * a (mod f),  v = g2 * a (mod f)
+    // and reduce degrees until u == 1.
+    std::uint64_t u[kPolyWords] = {0};
+    std::uint64_t v[kPolyWords] = {0};
+    std::uint64_t g1[kPolyWords] = {0};
+    std::uint64_t g2[kPolyWords] = {0};
+
+    for (unsigned i = 0; i < kWords; ++i)
+        u[i] = w_[i];
+    // f(x) = x^571 + x^10 + x^5 + x^2 + 1.
+    v[0] = (1ULL << 10) | (1ULL << 5) | (1ULL << 2) | 1ULL;
+    v[kBits / 64] |= 1ULL << (kBits % 64);
+    g1[0] = 1;
+
+    int du = polyDegree(u);
+    int dv = polyDegree(v);
+    while (du > 0) {
+        int j = du - dv;
+        if (j < 0) {
+            std::swap_ranges(u, u + kPolyWords, v);
+            std::swap_ranges(g1, g1 + kPolyWords, g2);
+            std::swap(du, dv);
+            j = -j;
+        }
+        polyXorShifted(u, v, static_cast<unsigned>(j));
+        polyXorShifted(g1, g2, static_cast<unsigned>(j));
+        du = polyDegree(u);
+    }
+    if (du != 0)
+        panic("GF(2^571) inverse: element not invertible");
+
+    Gf571 out;
+    for (unsigned i = 0; i < kWords; ++i)
+        out.w_[i] = g1[i];
+    return out;
+}
+
+} // namespace llcf

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Arithmetic in GF(2^571) with the sect571r1 reduction polynomial
+ * f(x) = x^571 + x^10 + x^5 + x^2 + 1 — the field underlying the
+ * vulnerable OpenSSL Montgomery-ladder ECDSA implementation the paper
+ * attacks (Section 7.1).
+ */
+
+#ifndef LLCF_CRYPTO_GF2M_HH
+#define LLCF_CRYPTO_GF2M_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "crypto/biguint.hh"
+
+namespace llcf {
+
+/**
+ * An element of GF(2^571): a binary polynomial of degree < 571 in
+ * nine little-endian 64-bit words.
+ */
+class Gf571
+{
+  public:
+    static constexpr unsigned kBits = 571;
+    static constexpr unsigned kWords = 9;
+
+    /** Zero element. */
+    Gf571() : w_{} {}
+
+    /** From a small constant (bits 0..63). */
+    explicit Gf571(std::uint64_t low) : w_{} { w_[0] = low; }
+
+    /** Parse big-endian hex (whitespace allowed). */
+    static Gf571 fromHex(const std::string &hex);
+
+    /** Convert from an integer (must fit 571 bits). */
+    static Gf571 fromBigUint(const BigUint &v);
+
+    /** Interpret the bit string as an integer. */
+    BigUint toBigUint() const;
+
+    /** Lowercase hex string. */
+    std::string toHex() const;
+
+    bool isZero() const;
+    bool isOne() const;
+    bool operator==(const Gf571 &o) const { return w_ == o.w_; }
+    bool operator!=(const Gf571 &o) const { return !(*this == o); }
+
+    /** Addition = XOR. */
+    Gf571 operator+(const Gf571 &o) const;
+
+    /** Polynomial multiplication mod f(x). */
+    Gf571 operator*(const Gf571 &o) const;
+
+    /** Squaring mod f(x) (linear in GF(2)). */
+    Gf571 square() const;
+
+    /** Multiplicative inverse via the polynomial extended Euclid.
+     *  @pre !isZero() */
+    Gf571 inverse() const;
+
+    /** Degree of the polynomial (-1 for zero). */
+    int degree() const;
+
+    /** Raw word access (for tests). */
+    const std::array<std::uint64_t, kWords> &words() const { return w_; }
+
+  private:
+    std::array<std::uint64_t, kWords> w_;
+};
+
+} // namespace llcf
+
+#endif // LLCF_CRYPTO_GF2M_HH

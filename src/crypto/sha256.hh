@@ -1,0 +1,33 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), used as the ECDSA message digest.
+ */
+
+#ifndef LLCF_CRYPTO_SHA256_HH
+#define LLCF_CRYPTO_SHA256_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llcf {
+
+/** A 32-byte SHA-256 digest. */
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/** Digest of a byte buffer. */
+Sha256Digest sha256(const std::uint8_t *data, std::size_t len);
+
+/** Digest of a string. */
+Sha256Digest sha256(const std::string &data);
+
+/** Digest of a byte vector. */
+Sha256Digest sha256(const std::vector<std::uint8_t> &data);
+
+/** Hex rendering of a digest. */
+std::string digestToHex(const Sha256Digest &digest);
+
+} // namespace llcf
+
+#endif // LLCF_CRYPTO_SHA256_HH

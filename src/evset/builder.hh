@@ -1,0 +1,145 @@
+/**
+ * @file
+ * End-to-end eviction-set construction: candidate set -> (optional)
+ * L2 filtering -> LLC pruning -> SF extension, with the paper's
+ * attempt/timeout policy, plus the bulk procedures for the SingleSet,
+ * PageOffset and WholeSys scenarios (Sections 2.2.2-2.2.3, 5.3).
+ */
+
+#ifndef LLCF_EVSET_BUILDER_HH
+#define LLCF_EVSET_BUILDER_HH
+
+#include <optional>
+#include <vector>
+
+#include "evset/algorithms.hh"
+#include "evset/candidate.hh"
+#include "evset/filter.hh"
+#include "evset/session.hh"
+
+namespace llcf {
+
+/** A constructed SF eviction set and its target address. */
+struct BuiltEvictionSet
+{
+    Addr target = 0;
+    std::vector<Addr> llcSet; //!< W_LLC congruent addresses
+    std::vector<Addr> sfSet;  //!< llcSet plus the SF extension address
+};
+
+/** Outcome of constructing one eviction set. */
+struct BuildOutcome
+{
+    bool success = false;
+    BuiltEvictionSet evset;
+    Cycles elapsed = 0;       //!< virtual time spent
+    unsigned attempts = 0;
+    unsigned backtracks = 0;
+    /** Ground truth (experimenter-side): every SF-set member is
+     *  congruent with the target. */
+    bool groundTruthValid = false;
+};
+
+/** Outcome of a bulk construction campaign. */
+struct BulkOutcome
+{
+    unsigned expectedSets = 0;  //!< SF sets the campaign should cover
+    unsigned builtSets = 0;     //!< eviction sets returned
+    unsigned validSets = 0;     //!< ground-truth-valid, distinct sets
+    Cycles elapsed = 0;
+    std::vector<BuiltEvictionSet> evsets;
+
+    /** Paper-style success rate: distinct valid sets / expected. */
+    double
+    successRate() const
+    {
+        return expectedSets ? static_cast<double>(validSets) /
+               expectedSets : 0.0;
+    }
+};
+
+/**
+ * Drives one pruning algorithm through the full construction
+ * pipeline.
+ */
+class EvictionSetBuilder
+{
+  public:
+    /**
+     * @param session Attacker context.
+     * @param algo Pruning algorithm for the LLC phase.
+     * @param use_filter Enable L2-driven candidate filtering.
+     */
+    EvictionSetBuilder(AttackSession &session, PruneAlgo algo,
+                       bool use_filter);
+
+    /** Algorithm in use. */
+    PruneAlgo algo() const { return pruner_->kind(); }
+
+    /** Whether candidate filtering is enabled. */
+    bool usesFilter() const { return useFilter_; }
+
+    /**
+     * Construct an SF eviction set for @p ta from @p cands (addresses
+     * at ta's page offset), honouring the attempt/timeout policy of
+     * AttackerConfig.  SingleSet scenario.
+     */
+    BuildOutcome buildForTarget(Addr ta, std::vector<Addr> cands);
+
+    /**
+     * Construct eviction sets for every SF set at one line index
+     * (page offset / 64): the PageOffset scenario.
+     */
+    BulkOutcome buildAtLineIndex(const CandidatePool &pool,
+                                 unsigned line_index);
+
+    /**
+     * Construct eviction sets for every SF set in the system: the
+     * WholeSys scenario.  With filtering enabled, the L2 classes are
+     * built once at line index 0 and shifted to the other 63 offsets
+     * (Section 5.3.1).
+     *
+     * @param line_indices Optional subset of line indices (for scaled
+     *        benches); empty means all 64.
+     */
+    BulkOutcome buildWholeSystem(const CandidatePool &pool,
+                                 std::vector<unsigned> line_indices = {});
+
+  private:
+    /**
+     * Extend an LLC eviction set to an SF eviction set by locating
+     * one additional congruent address (Section 4.2's protocol).
+     */
+    std::optional<Addr> extendToSf(Addr ta,
+                                   const std::vector<Addr> &llc_set,
+                                   const std::vector<Addr> &cands,
+                                   Cycles deadline);
+
+    /** One construction attempt (no retry policy). */
+    std::optional<BuiltEvictionSet> attemptBuild(
+        Addr ta, const std::vector<Addr> &cands, Cycles deadline,
+        unsigned *backtracks);
+
+    /**
+     * Bulk-build within one candidate class (paper Section 2.2.3):
+     * pick targets, skip those covered by existing sets, prune, and
+     * consume used addresses.
+     */
+    void buildClass(std::vector<Addr> members, BulkOutcome &out);
+
+    /** True iff the union of built sets already evicts @p ta. */
+    bool coveredByExisting(Addr ta,
+                           const std::vector<BuiltEvictionSet> &sets);
+
+    /** Ground-truth congruence check (experimenter-side). */
+    bool validateGroundTruth(const BuiltEvictionSet &evset) const;
+
+    AttackSession &session_;
+    std::unique_ptr<Pruner> pruner_;
+    bool useFilter_;
+    CandidateFilter filter_;
+};
+
+} // namespace llcf
+
+#endif // LLCF_EVSET_BUILDER_HH

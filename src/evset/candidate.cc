@@ -1,0 +1,48 @@
+#include "candidate.hh"
+
+#include <cmath>
+
+namespace llcf {
+
+CandidatePool::CandidatePool(AttackSession &session, std::size_t pages)
+{
+    AddressSpace &space = session.space();
+    const Addr base = space.mmapAnon(pages * kPageBytes);
+    framePa_.reserve(pages);
+    for (std::size_t i = 0; i < pages; ++i) {
+        const Addr va = base + static_cast<Addr>(i) * kPageBytes;
+        framePa_.push_back(space.translate(va));
+    }
+}
+
+std::vector<Addr>
+CandidatePool::candidatesAt(unsigned line_index) const
+{
+    std::vector<Addr> out;
+    out.reserve(framePa_.size());
+    for (std::size_t p = 0; p < framePa_.size(); ++p)
+        out.push_back(at(p, line_index));
+    return out;
+}
+
+std::vector<Addr>
+CandidatePool::shiftToLineIndex(const std::vector<Addr> &at_zero,
+                                unsigned line_index)
+{
+    std::vector<Addr> out;
+    out.reserve(at_zero.size());
+    const Addr delta = static_cast<Addr>(line_index) << kLineBits;
+    for (Addr a : at_zero)
+        out.push_back((a & ~static_cast<Addr>(kPageBytes - 1)) | delta);
+    return out;
+}
+
+std::size_t
+CandidatePool::requiredPages(const Machine &machine, double factor)
+{
+    const auto &sf = machine.config().sf;
+    return static_cast<std::size_t>(
+        std::ceil(factor * sf.uncertainty() * sf.ways));
+}
+
+} // namespace llcf

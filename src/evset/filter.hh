@@ -1,0 +1,79 @@
+/**
+ * @file
+ * L2-driven candidate address filtering (paper Section 5.1).
+ *
+ * Because the L2 set-index bits (PA 15..6) are a subset of the LLC/SF
+ * set-index bits (PA 16..6), two addresses that are not congruent in
+ * the L2 cannot be congruent in the LLC/SF.  An L2 eviction set for
+ * the target therefore filters a candidate set down by a factor of
+ * U_L2 (16 on Skylake-SP) before any LLC/SF pruning runs.
+ */
+
+#ifndef LLCF_EVSET_FILTER_HH
+#define LLCF_EVSET_FILTER_HH
+
+#include <optional>
+#include <vector>
+
+#include "evset/algorithms.hh"
+#include "evset/session.hh"
+
+namespace llcf {
+
+/**
+ * Builds L2 eviction sets and uses them to filter candidates.
+ */
+class CandidateFilter
+{
+  public:
+    /** One L2-congruence class of the candidate pool. */
+    struct L2Class
+    {
+        std::vector<Addr> l2Evset;  //!< W_L2 L2-congruent addresses
+        std::vector<Addr> members;  //!< candidates congruent in L2
+    };
+
+    explicit CandidateFilter(AttackSession &session);
+
+    /**
+     * Construct an L2 eviction set for @p ta using the binary-search
+     * pruner on the private-L2 TestEviction predicate.
+     *
+     * @param cands Candidate addresses at ta's page offset; only the
+     *              first ~3*U_L2*W_L2 are used.
+     * @return the eviction set, or nullopt on failure/timeout.
+     */
+    std::optional<std::vector<Addr>> buildL2EvictionSet(
+        Addr ta, const std::vector<Addr> &cands, Cycles deadline);
+
+    /**
+     * Keep only the candidates the L2 eviction set evicts, i.e. the
+     * ones L2-congruent with the eviction set's target.
+     */
+    std::vector<Addr> filter(const std::vector<Addr> &l2_evset,
+                             const std::vector<Addr> &cands);
+
+    /**
+     * Partition a candidate pool into its L2-congruence classes,
+     * building one L2 eviction set per class — the bulk strategy of
+     * Section 5.3.1 (at most U_L2 filtering executions per offset).
+     */
+    std::vector<L2Class> partition(std::vector<Addr> cands,
+                                   Cycles deadline);
+
+    /**
+     * Derive the classes at another line index from classes built at
+     * line index 0, exploiting same-page offset shifts preserving L2
+     * congruence (Section 5.3.1) — no further filtering needed.
+     */
+    static std::vector<L2Class> shiftClasses(
+        const std::vector<L2Class> &at_zero, unsigned line_index);
+
+  private:
+    AttackSession &session_;
+    BinarySearchPruner pruner_;
+};
+
+} // namespace llcf
+
+#endif // LLCF_EVSET_FILTER_HH

@@ -1,0 +1,111 @@
+#include "session.hh"
+
+namespace llcf {
+
+AttackSession::AttackSession(Machine &machine, const AttackerConfig &cfg)
+    : machine_(machine), cfg_(cfg), space_(machine.newAddressSpace()),
+      rng_(mix64(cfg.seed ^ 0xa77ac3))
+{
+}
+
+bool
+AttackSession::testEviction(TestTarget target, Addr ta,
+                            std::span<const Addr> cands, std::size_t n)
+{
+    switch (target) {
+      case TestTarget::Llc:
+        return testEvictionLlcParallel(ta, cands, n);
+      case TestTarget::PrivateL2:
+        return testEvictionL2Parallel(ta, cands, n);
+    }
+    return false;
+}
+
+bool
+AttackSession::testEvictionLlcParallel(Addr ta, std::span<const Addr> cands,
+                                       std::size_t n)
+{
+    // Flush-then-access discipline: flushing the working set first
+    // makes every traversal access a fresh LLC insertion.  Re-access
+    // of an already-resident line would merely promote it, and
+    // promotions cannot displace the target — on real hardware the
+    // equivalent insertion pressure comes from the victim-cache fill
+    // path; see DESIGN.md.  The flush pass is throughput-bound and
+    // cheap relative to the traversal.
+    ++testCount_;
+    machine_.clflushMany(cfg_.mainCore, cands.subspan(0, n));
+    machine_.clflush(cfg_.mainCore, ta);
+    machine_.loadShared(cfg_.mainCore, cfg_.helperCore, ta);
+    machine_.parallelLoadsShared(cfg_.mainCore, cfg_.helperCore,
+                                 cands.subspan(0, n));
+    return probeLlcMiss(ta);
+}
+
+bool
+AttackSession::testEvictionSfParallel(Addr ta, std::span<const Addr> cands,
+                                      std::size_t n)
+{
+    // This predicate runs on small candidate buffers (the LLC set
+    // plus one probe address) that fit in the private caches, so the
+    // whole working set is flushed first — otherwise the stores hit
+    // in L1/L2 and never re-allocate SF entries, leaving stale
+    // replacement ages.  Real implementations reset their own lines
+    // the same way between trials.
+    ++testCount_;
+    machine_.clflush(cfg_.mainCore, ta);
+    for (std::size_t i = 0; i < n; ++i)
+        machine_.clflush(cfg_.mainCore, cands[i]);
+    machine_.store(cfg_.mainCore, ta);
+    machine_.parallelStores(cfg_.mainCore, cands.subspan(0, n));
+    return probePrivateMiss(ta);
+}
+
+bool
+AttackSession::testEvictionL2Parallel(Addr ta, std::span<const Addr> cands,
+                                      std::size_t n)
+{
+    ++testCount_;
+    machine_.clflushMany(cfg_.mainCore, cands.subspan(0, n));
+    machine_.clflush(cfg_.mainCore, ta);
+    machine_.load(cfg_.mainCore, ta);
+    machine_.parallelLoads(cfg_.mainCore, cands.subspan(0, n));
+    return probePrivateMiss(ta);
+}
+
+void
+AttackSession::shareLine(Addr pa)
+{
+    // Flush first so the line is freshly inserted into the LLC
+    // (re-accessing a private-cache-resident line never updates the
+    // LLC's replacement state).
+    machine_.clflush(cfg_.mainCore, pa);
+    machine_.loadShared(cfg_.mainCore, cfg_.helperCore, pa);
+}
+
+void
+AttackSession::seqSharedAccess(Addr pa)
+{
+    // Serialised candidate access with the same flush-then-access
+    // discipline as the parallel traversal; the chase overhead covers
+    // the serialisation and per-page TLB walk.
+    machine_.clflush(cfg_.mainCore, pa);
+    machine_.loadShared(cfg_.mainCore, cfg_.helperCore, pa);
+    machine_.idle(static_cast<Cycles>(
+        machine_.config().timing.chaseOverhead));
+}
+
+bool
+AttackSession::probeLlcMiss(Addr ta)
+{
+    const Cycles measured = machine_.probeLoad(cfg_.mainCore, ta);
+    return static_cast<double>(measured) > cfg_.thresholds.llcMiss;
+}
+
+bool
+AttackSession::probePrivateMiss(Addr ta)
+{
+    const Cycles measured = machine_.timedLoad(cfg_.mainCore, ta);
+    return static_cast<double>(measured) > cfg_.thresholds.privateMiss;
+}
+
+} // namespace llcf

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Attacker-side context: which cores the attacker owns, calibrated
+ * latency thresholds, construction budgets, and the TestEviction
+ * primitives every pruning algorithm builds on (paper Section 4.1).
+ *
+ * Discipline: attack code holds translated physical line addresses as
+ * opaque pointer values (the simulator's stand-in for the attacker's
+ * virtual-address pointers) and only ever passes them back to Machine
+ * operations.  It never inspects PA bits — the information an
+ * unprivileged attacker does not have.
+ */
+
+#ifndef LLCF_EVSET_SESSION_HH
+#define LLCF_EVSET_SESSION_HH
+
+#include <span>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace llcf {
+
+/** Which structure a generic TestEviction targets. */
+enum class TestTarget { Llc, PrivateL2 };
+
+/** Knobs of the attacker program. */
+struct AttackerConfig
+{
+    unsigned mainCore = 0;   //!< thread running the attack logic
+    unsigned helperCore = 1; //!< concurrent helper (Section 4.2)
+
+    /** Seed of the attacker's own randomness (shuffles, retries). */
+    std::uint64_t seed = 1;
+
+    LatencyThresholds thresholds;
+
+    /** Per-eviction-set construction attempts (paper: 10). */
+    unsigned maxAttempts = 10;
+
+    /** Backtracks allowed per attempt (paper: 20 for group testing). */
+    unsigned maxBacktracks = 20;
+
+    /** Virtual-time budget per eviction set; Table 3 uses 1,000 ms,
+     *  Table 4 (with candidate filtering) uses 100 ms. */
+    Cycles evsetBudget = msToCycles(1000.0);
+
+    /** Candidate set size factor: N = factor * U * W (paper: 3). */
+    double candidateFactor = 3.0;
+};
+
+/**
+ * Wraps a Machine with the attacker's primitives and bookkeeping.
+ */
+class AttackSession
+{
+  public:
+    AttackSession(Machine &machine, const AttackerConfig &cfg);
+
+    Machine &machine() { return machine_; }
+    const AttackerConfig &config() const { return cfg_; }
+    AddressSpace &space() { return *space_; }
+    Rng &rng() { return rng_; }
+
+    /** Number of TestEviction executions so far (all flavours). */
+    std::uint64_t testCount() const { return testCount_; }
+
+    // -------------------------------------------------- primitives
+
+    /**
+     * Parallel TestEviction against the LLC (shared-line protocol):
+     * load the target via main+helper so it is LLC-resident, traverse
+     * the first @p n candidates the same way with overlapped accesses,
+     * then decide from a timed probe whether the target left the LLC.
+     */
+    bool testEvictionLlcParallel(Addr ta, std::span<const Addr> cands,
+                                 std::size_t n);
+
+    /**
+     * Parallel TestEviction against the attacker's private caches /
+     * SF (store protocol): returns true iff traversing the first @p n
+     * candidates (as stores) pushed the target's SF entry out.
+     */
+    bool testEvictionSfParallel(Addr ta, std::span<const Addr> cands,
+                                std::size_t n);
+
+    /**
+     * Parallel TestEviction against the private L2 (plain loads, no
+     * helper): returns true iff the target left the private caches.
+     */
+    bool testEvictionL2Parallel(Addr ta, std::span<const Addr> cands,
+                                std::size_t n);
+
+    /** Dispatch to the LLC or private-L2 parallel TestEviction. */
+    bool testEviction(TestTarget target, Addr ta,
+                      std::span<const Addr> cands, std::size_t n);
+
+    /** Bring a line into the LLC in Shared state (main + helper). */
+    void shareLine(Addr pa);
+
+    /** One serialised shared access (Prime+Scope's candidate step). */
+    void seqSharedAccess(Addr pa);
+
+    /** Non-promoting timed probe; true iff measured > llcMiss. */
+    bool probeLlcMiss(Addr ta);
+
+    /** Timed load; true iff measured > privateMiss (SF entry gone). */
+    bool probePrivateMiss(Addr ta);
+
+    /** True iff the wall-clock deadline passed. */
+    bool expired(Cycles deadline) const { return machine_.now() > deadline; }
+
+  private:
+    Machine &machine_;
+    AttackerConfig cfg_;
+    std::unique_ptr<AddressSpace> space_;
+    Rng rng_;
+    std::uint64_t testCount_ = 0;
+};
+
+} // namespace llcf
+
+#endif // LLCF_EVSET_SESSION_HH

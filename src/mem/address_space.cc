@@ -1,0 +1,104 @@
+#include "address_space.hh"
+
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace llcf {
+
+PageAllocator::PageAllocator(std::size_t total_frames, Rng rng)
+    : totalFrames_(total_frames), rng_(rng)
+{
+    if (total_frames == 0)
+        fatal("PageAllocator needs a non-empty frame pool");
+    free_.resize(total_frames);
+    std::iota(free_.begin(), free_.end(), 0u);
+    rng_.shuffle(free_);
+}
+
+Addr
+PageAllocator::allocFrame()
+{
+    if (free_.empty())
+        fatal("physical frame pool exhausted (%zu frames)", totalFrames_);
+    std::uint32_t frame = free_.back();
+    free_.pop_back();
+    return static_cast<Addr>(frame) << kPageBits;
+}
+
+void
+PageAllocator::freeFrame(Addr pa)
+{
+    if (pageOffset(pa) != 0)
+        panic("freeFrame on non page-aligned PA %#lx",
+              static_cast<unsigned long>(pa));
+    free_.push_back(static_cast<std::uint32_t>(pa >> kPageBits));
+}
+
+AddressSpace::AddressSpace(PageAllocator &allocator, unsigned asid)
+    : allocator_(allocator),
+      // Spread VA bases apart so per-process layouts never collide;
+      // the 0x10000... base mimics a typical mmap region.
+      nextVa_(0x100000000000ULL + (static_cast<Addr>(asid) << 36))
+{
+}
+
+Addr
+AddressSpace::mmapAnon(std::size_t bytes)
+{
+    const std::size_t pages = (bytes + kPageBytes - 1) / kPageBytes;
+    const Addr base = nextVa_;
+    for (std::size_t i = 0; i < pages; ++i) {
+        Addr va_page = base + static_cast<Addr>(i) * kPageBytes;
+        pageTable_[va_page] = allocator_.allocFrame();
+    }
+    nextVa_ += static_cast<Addr>(pages) * kPageBytes;
+    // Leave a guard gap between mappings, as real mmap tends to.
+    nextVa_ += kPageBytes;
+    return base;
+}
+
+Addr
+AddressSpace::mapShared(const std::vector<Addr> &frames)
+{
+    const Addr base = nextVa_;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        if (pageOffset(frames[i]) != 0)
+            panic("mapShared frame %zu not page aligned", i);
+        pageTable_[base + static_cast<Addr>(i) * kPageBytes] = frames[i];
+    }
+    nextVa_ += static_cast<Addr>(frames.size() + 1) * kPageBytes;
+    return base;
+}
+
+Addr
+AddressSpace::translate(Addr va) const
+{
+    const Addr va_page = va & ~static_cast<Addr>(kPageBytes - 1);
+    auto it = pageTable_.find(va_page);
+    if (it == pageTable_.end())
+        panic("translate of unmapped VA %#lx",
+              static_cast<unsigned long>(va));
+    return it->second | pageOffset(va);
+}
+
+bool
+AddressSpace::isMapped(Addr va) const
+{
+    const Addr va_page = va & ~static_cast<Addr>(kPageBytes - 1);
+    return pageTable_.count(va_page) != 0;
+}
+
+std::vector<Addr>
+AddressSpace::framesOf(Addr base, std::size_t bytes) const
+{
+    std::vector<Addr> frames;
+    const std::size_t pages = (bytes + kPageBytes - 1) / kPageBytes;
+    frames.reserve(pages);
+    for (std::size_t i = 0; i < pages; ++i)
+        frames.push_back(translate(base + static_cast<Addr>(i) *
+                                   kPageBytes));
+    return frames;
+}
+
+} // namespace llcf

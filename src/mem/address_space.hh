@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Physical frame allocation and per-process virtual address spaces.
+ *
+ * The attacker in the paper is an unprivileged container user: they pick
+ * virtual addresses but the kernel picks physical frames, so PA bits
+ * above the 4 kB page offset are uncontrolled and unknown (Figure 1).
+ * PageAllocator models that by handing out pseudo-randomly chosen frames
+ * from a large pool; AddressSpace maps process-private virtual pages to
+ * those frames.
+ */
+
+#ifndef LLCF_MEM_ADDRESS_SPACE_HH
+#define LLCF_MEM_ADDRESS_SPACE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace llcf {
+
+/**
+ * Allocates 4 kB physical page frames from a finite pool in a
+ * randomised order.
+ *
+ * Randomisation is what creates the paper's "cache uncertainty": the
+ * attacker cannot steer which L2/LLC sets a fresh page's lines map to.
+ */
+class PageAllocator
+{
+  public:
+    /**
+     * @param total_frames Size of the physical pool in 4 kB frames.
+     * @param rng Source of allocation randomness (copied).
+     */
+    PageAllocator(std::size_t total_frames, Rng rng);
+
+    /** Allocate one frame; returns its physical base address. */
+    Addr allocFrame();
+
+    /** Return a frame to the pool. @pre pa was returned by allocFrame */
+    void freeFrame(Addr pa);
+
+    /** Frames still available. */
+    std::size_t freeFrames() const { return free_.size(); }
+
+    /** Total pool size in frames. */
+    std::size_t totalFrames() const { return totalFrames_; }
+
+  private:
+    std::size_t totalFrames_;
+    std::vector<std::uint32_t> free_; //!< free frame numbers, shuffled
+    Rng rng_;
+};
+
+/**
+ * A process-private virtual address space with 4 kB page granularity.
+ *
+ * Only the mechanics an attack program relies on are modelled: mapping
+ * anonymous memory (mmapAnon) and translating VAs to PAs during access.
+ * Shared mappings (the victim binary mapped into the attacker for
+ * ground-truth validation, Section 7.2) are supported via mapShared.
+ */
+class AddressSpace
+{
+  public:
+    /**
+     * @param allocator Backing frame allocator (shared between spaces,
+     *                  not owned).
+     * @param asid Address-space id, used only to spread VA layouts.
+     */
+    AddressSpace(PageAllocator &allocator, unsigned asid);
+
+    /**
+     * Map @p bytes of anonymous memory (rounded up to whole pages).
+     * Frames are allocated eagerly, matching an attack buffer that is
+     * touched immediately after mmap.
+     * @return base virtual address of the mapping.
+     */
+    Addr mmapAnon(std::size_t bytes);
+
+    /**
+     * Map an existing physical range (e.g. another process's pages)
+     * at a fresh VA.  @p frames are page base PAs.
+     * @return base virtual address of the mapping.
+     */
+    Addr mapShared(const std::vector<Addr> &frames);
+
+    /** Translate a virtual address. @pre va was mapped here. */
+    Addr translate(Addr va) const;
+
+    /** True iff the page containing @p va is mapped. */
+    bool isMapped(Addr va) const;
+
+    /** Physical frames backing a mapping of @p bytes at @p base. */
+    std::vector<Addr> framesOf(Addr base, std::size_t bytes) const;
+
+    /** Number of mapped pages. */
+    std::size_t pageCount() const { return pageTable_.size(); }
+
+  private:
+    PageAllocator &allocator_;
+    std::unordered_map<Addr, Addr> pageTable_; //!< VA page -> PA frame
+    Addr nextVa_;
+};
+
+} // namespace llcf
+
+#endif // LLCF_MEM_ADDRESS_SPACE_HH

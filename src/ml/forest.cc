@@ -1,0 +1,210 @@
+#include "forest.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace llcf {
+
+DecisionTree::DecisionTree(const TreeParams &params) : params_(params)
+{
+}
+
+namespace {
+
+/** Gini impurity of a (pos, total) split side. */
+double
+gini(double pos, double total)
+{
+    if (total <= 0.0)
+        return 0.0;
+    const double p = pos / total;
+    return 2.0 * p * (1.0 - p);
+}
+
+} // namespace
+
+int
+DecisionTree::build(const Dataset &data,
+                    std::vector<std::size_t> &indices, std::size_t begin,
+                    std::size_t end, unsigned depth, Rng &rng)
+{
+    const std::size_t n = end - begin;
+    double pos = 0.0;
+    for (std::size_t i = begin; i < end; ++i)
+        pos += data.y[indices[i]] > 0 ? 1.0 : 0.0;
+
+    Node node;
+    node.proba = n ? pos / static_cast<double>(n) : 0.5;
+
+    const bool pure = pos == 0.0 || pos == static_cast<double>(n);
+    if (depth >= params_.maxDepth || n < 2 * params_.minSamplesLeaf ||
+        pure) {
+        nodes_.push_back(node);
+        return static_cast<int>(nodes_.size()) - 1;
+    }
+
+    const std::size_t total_features = data.features();
+    std::size_t try_features = params_.maxFeatures;
+    if (try_features == 0) {
+        try_features = static_cast<std::size_t>(
+            std::sqrt(static_cast<double>(total_features)));
+        try_features = std::max<std::size_t>(1, try_features);
+    }
+
+    // Sample candidate features without replacement.
+    std::vector<std::size_t> feats(total_features);
+    for (std::size_t f = 0; f < total_features; ++f)
+        feats[f] = f;
+    rng.shuffle(feats);
+    feats.resize(std::min(try_features, total_features));
+
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    double best_score = gini(pos, static_cast<double>(n));
+    std::vector<std::pair<double, int>> column(n);
+
+    for (std::size_t f : feats) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t idx = indices[begin + i];
+            column[i] = {data.x[idx][f], data.y[idx]};
+        }
+        std::sort(column.begin(), column.end());
+        double left_pos = 0.0;
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            left_pos += column[i].second > 0 ? 1.0 : 0.0;
+            if (column[i].first == column[i + 1].first)
+                continue;
+            const double nl = static_cast<double>(i + 1);
+            const double nr = static_cast<double>(n) - nl;
+            if (nl < params_.minSamplesLeaf ||
+                nr < params_.minSamplesLeaf)
+                continue;
+            const double score =
+                (nl * gini(left_pos, nl) +
+                 nr * gini(pos - left_pos, nr)) /
+                static_cast<double>(n);
+            if (score < best_score - 1e-12) {
+                best_score = score;
+                best_feature = static_cast<int>(f);
+                best_threshold = 0.5 * (column[i].first +
+                                        column[i + 1].first);
+            }
+        }
+    }
+
+    if (best_feature < 0) {
+        nodes_.push_back(node);
+        return static_cast<int>(nodes_.size()) - 1;
+    }
+
+    // Partition indices around the chosen split.
+    auto mid_it = std::partition(
+        indices.begin() + begin, indices.begin() + end,
+        [&](std::size_t idx) {
+            return data.x[idx][best_feature] <= best_threshold;
+        });
+    const std::size_t mid = static_cast<std::size_t>(
+        mid_it - indices.begin());
+    if (mid == begin || mid == end) {
+        nodes_.push_back(node);
+        return static_cast<int>(nodes_.size()) - 1;
+    }
+
+    node.feature = best_feature;
+    node.threshold = best_threshold;
+    nodes_.push_back(node);
+    const int self = static_cast<int>(nodes_.size()) - 1;
+    const int left = build(data, indices, begin, mid, depth + 1, rng);
+    const int right = build(data, indices, mid, end, depth + 1, rng);
+    nodes_[self].left = left;
+    nodes_[self].right = right;
+    return self;
+}
+
+void
+DecisionTree::fit(const Dataset &data,
+                  const std::vector<std::size_t> &indices, Rng &rng)
+{
+    nodes_.clear();
+    if (indices.empty())
+        fatal("decision tree fit with no samples");
+    std::vector<std::size_t> work = indices;
+    build(data, work, 0, work.size(), 0, rng);
+}
+
+double
+DecisionTree::predictProba(const std::vector<double> &sample) const
+{
+    if (nodes_.empty())
+        return 0.5;
+    int cur = 0;
+    for (;;) {
+        const Node &node = nodes_[cur];
+        if (node.feature < 0 || node.left < 0 || node.right < 0)
+            return node.proba;
+        cur = sample[node.feature] <= node.threshold ? node.left
+                                                     : node.right;
+    }
+}
+
+int
+DecisionTree::predict(const std::vector<double> &sample) const
+{
+    return predictProba(sample) >= 0.5 ? 1 : -1;
+}
+
+RandomForest::RandomForest(const ForestParams &params) : params_(params)
+{
+}
+
+void
+RandomForest::fit(const Dataset &data)
+{
+    if (data.size() == 0)
+        fatal("cannot train a random forest on an empty dataset");
+    trees_.clear();
+    trees_.reserve(params_.trees);
+    Rng rng(params_.seed);
+    const std::size_t n_boot = std::max<std::size_t>(
+        1, static_cast<std::size_t>(params_.bootstrapFraction *
+                                    static_cast<double>(data.size())));
+    for (unsigned t = 0; t < params_.trees; ++t) {
+        std::vector<std::size_t> indices(n_boot);
+        for (auto &idx : indices)
+            idx = static_cast<std::size_t>(rng.nextBelow(data.size()));
+        DecisionTree tree(params_.tree);
+        Rng tree_rng = rng.split();
+        tree.fit(data, indices, tree_rng);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+double
+RandomForest::predictProba(const std::vector<double> &sample) const
+{
+    if (trees_.empty())
+        return 0.5;
+    double sum = 0.0;
+    for (const auto &tree : trees_)
+        sum += tree.predictProba(sample);
+    return sum / static_cast<double>(trees_.size());
+}
+
+int
+RandomForest::predict(const std::vector<double> &sample) const
+{
+    return predictProba(sample) >= 0.5 ? 1 : -1;
+}
+
+BinaryMetrics
+RandomForest::evaluate(const Dataset &data) const
+{
+    BinaryMetrics m;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        m.add(data.y[i], predict(data.x[i]));
+    return m;
+}
+
+} // namespace llcf

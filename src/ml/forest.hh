@@ -1,0 +1,103 @@
+/**
+ * @file
+ * CART decision trees and a random forest, standing in for the
+ * paper's random-forest iteration-boundary classifier (Section 7.3).
+ */
+
+#ifndef LLCF_ML_FOREST_HH
+#define LLCF_ML_FOREST_HH
+
+#include "ml/dataset.hh"
+
+namespace llcf {
+
+/** Decision-tree hyper-parameters. */
+struct TreeParams
+{
+    unsigned maxDepth = 8;
+    std::size_t minSamplesLeaf = 4;
+    /** Features tried per split; 0 = sqrt(total features). */
+    std::size_t maxFeatures = 0;
+};
+
+/**
+ * Binary CART tree with Gini-impurity splits.
+ */
+class DecisionTree
+{
+  public:
+    explicit DecisionTree(const TreeParams &params = TreeParams{});
+
+    /**
+     * Fit on a bootstrap view of @p data given by @p indices.
+     * @param rng Source of feature-subsampling randomness.
+     */
+    void fit(const Dataset &data, const std::vector<std::size_t> &indices,
+             Rng &rng);
+
+    /** Probability of class +1. */
+    double predictProba(const std::vector<double> &sample) const;
+
+    /** Predicted label (+1 / -1). */
+    int predict(const std::vector<double> &sample) const;
+
+    /** Number of nodes (for tests). */
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+  private:
+    struct Node
+    {
+        int feature = -1;     //!< -1 marks a leaf
+        double threshold = 0.0;
+        double proba = 0.5;   //!< leaf probability of class +1
+        int left = -1;
+        int right = -1;
+    };
+
+    int build(const Dataset &data, std::vector<std::size_t> &indices,
+              std::size_t begin, std::size_t end, unsigned depth,
+              Rng &rng);
+
+    TreeParams params_;
+    std::vector<Node> nodes_;
+};
+
+/** Random-forest hyper-parameters. */
+struct ForestParams
+{
+    unsigned trees = 40;
+    TreeParams tree;
+    double bootstrapFraction = 1.0;
+    std::uint64_t seed = 11;
+};
+
+/**
+ * Bagged ensemble of decision trees.
+ */
+class RandomForest
+{
+  public:
+    explicit RandomForest(const ForestParams &params = ForestParams{});
+
+    /** Train on @p data. */
+    void fit(const Dataset &data);
+
+    /** Mean of the trees' probabilities for class +1. */
+    double predictProba(const std::vector<double> &sample) const;
+
+    /** Predicted label (+1 / -1) with a 0.5 probability cut. */
+    int predict(const std::vector<double> &sample) const;
+
+    /** Evaluate on a labelled dataset. */
+    BinaryMetrics evaluate(const Dataset &data) const;
+
+    std::size_t treeCount() const { return trees_.size(); }
+
+  private:
+    ForestParams params_;
+    std::vector<DecisionTree> trees_;
+};
+
+} // namespace llcf
+
+#endif // LLCF_ML_FOREST_HH

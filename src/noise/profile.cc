@@ -1,0 +1,59 @@
+#include "profile.hh"
+
+namespace llcf {
+
+NoiseProfile
+quiescentLocal()
+{
+    NoiseProfile p;
+    p.name = "quiescent-local";
+    p.accessesPerSetPerMs = 0.29;
+    p.sfFraction = 0.75;
+    p.burstMean = 1.2;
+    p.memLatencyMul = 1.0;
+    p.memThroughputMul = 1.0;
+    p.latencyJitter = 0.02;
+    p.interruptRate = 5e-10;   // ~1 per ms of CPU time
+    p.interruptCostMean = 25000.0;
+    return p;
+}
+
+NoiseProfile
+cloudRun()
+{
+    NoiseProfile p;
+    p.name = "cloud-run";
+    p.accessesPerSetPerMs = 11.5;
+    p.sfFraction = 0.75;
+    p.burstMean = 1.6;
+    // Calibrated so sequential/parallel TestEviction are ~27%/42%
+    // slower than the local profile (paper Section 4.3).
+    p.memLatencyMul = 1.37;
+    p.memThroughputMul = 1.73;
+    p.latencyJitter = 0.08;
+    p.interruptRate = 2e-9;    // ~4 per ms of CPU time
+    p.interruptCostMean = 30000.0;
+    return p;
+}
+
+NoiseProfile
+cloudRunQuietHours()
+{
+    // The paper observed no significant variation at 3-5 am, which it
+    // attributes to server consolidation; model a marginal reduction.
+    NoiseProfile p = cloudRun();
+    p.name = "cloud-run-3-5am";
+    p.accessesPerSetPerMs = 11.0;
+    return p;
+}
+
+NoiseProfile
+customCloud(double accesses_per_set_per_ms)
+{
+    NoiseProfile p = cloudRun();
+    p.name = "custom-cloud";
+    p.accessesPerSetPerMs = accesses_per_set_per_ms;
+    return p;
+}
+
+} // namespace llcf

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Environment noise profiles.
+ *
+ * A NoiseProfile captures everything that distinguishes a quiescent
+ * local machine from a busy Cloud Run host in the paper's Section 4.3:
+ *
+ *  - the rate of background (other-tenant) accesses per LLC/SF set
+ *    (Figure 2: ~11.5 /ms/set on Cloud Run vs ~0.29 /ms/set locally),
+ *  - slower memory operations due to contention (sequential and
+ *    parallel TestEviction run 26.9% / 42.1% faster locally), and
+ *  - occasional interrupts / context switches producing latency
+ *    outliers (> 20,000 cycles, excluded in the paper's Table 5).
+ */
+
+#ifndef LLCF_NOISE_PROFILE_HH
+#define LLCF_NOISE_PROFILE_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace llcf {
+
+/**
+ * Describes the background activity level of a simulated host.
+ */
+struct NoiseProfile
+{
+    std::string name = "quiescent-local";
+
+    /**
+     * Background LLC/SF accesses per set per millisecond by other
+     * tenants and system processes (paper Figure 2).
+     */
+    double accessesPerSetPerMs = 0.29;
+
+    /**
+     * Fraction of background accesses that allocate a snoop-filter
+     * entry (ordinary private-data accesses); the rest land in the
+     * LLC (shared/evicted-reused lines).
+     */
+    double sfFraction = 0.75;
+
+    /**
+     * Burstiness: each noise arrival brings Geometric(1/burstMean)
+     * extra accesses to nearby activity.  1.0 = pure Poisson.
+     */
+    double burstMean = 1.0;
+
+    /** Multiplier on memory-hierarchy latencies due to contention. */
+    double memLatencyMul = 1.0;
+
+    /** Multiplier on sustained miss throughput cost (bandwidth). */
+    double memThroughputMul = 1.0;
+
+    /** Lognormal-ish jitter stddev as a fraction of each latency. */
+    double latencyJitter = 0.02;
+
+    /** Interrupt / context-switch rate per cycle of attacker time. */
+    double interruptRate = 1e-9;
+
+    /** Mean cost of one interrupt in cycles. */
+    double interruptCostMean = 30000.0;
+
+    /** Background accesses per set per cycle (derived). */
+    double
+    accessesPerSetPerCycle() const
+    {
+        return accessesPerSetPerMs / (kCpuGhz * 1e6);
+    }
+};
+
+/** Quiescent local machine (paper's "Quiescent Local" rows). */
+NoiseProfile quiescentLocal();
+
+/** Busy Cloud Run host (paper's "Cloud Run" rows). */
+NoiseProfile cloudRun();
+
+/**
+ * Cloud Run during the 3-5 am "quiet hours": the paper found load
+ * barely drops (server consolidation keeps hosts busy), so this is
+ * only marginally quieter.
+ */
+NoiseProfile cloudRunQuietHours();
+
+/** A profile with a custom access rate, derived from cloudRun(). */
+NoiseProfile customCloud(double accesses_per_set_per_ms);
+
+} // namespace llcf
+
+#endif // LLCF_NOISE_PROFILE_HH

@@ -1,0 +1,70 @@
+#include "fft.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace llcf {
+
+std::size_t
+nextPowerOf2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+void
+fft(std::vector<Complex> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    if (n == 0)
+        return;
+    if (!isPowerOf2(n))
+        panic("fft size %zu is not a power of two", n);
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle = (inverse ? 2.0 : -2.0) * M_PI /
+                             static_cast<double>(len);
+        const Complex wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            Complex w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const Complex u = data[i + k];
+                const Complex v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        for (auto &x : data)
+            x /= static_cast<double>(n);
+    }
+}
+
+std::vector<Complex>
+fftReal(const std::vector<double> &signal)
+{
+    std::vector<Complex> data(nextPowerOf2(signal.size()));
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        data[i] = Complex(signal[i], 0.0);
+    fft(data);
+    return data;
+}
+
+} // namespace llcf

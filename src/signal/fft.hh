@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Radix-2 fast Fourier transform for the spectral analysis pipeline.
+ */
+
+#ifndef LLCF_SIGNAL_FFT_HH
+#define LLCF_SIGNAL_FFT_HH
+
+#include <complex>
+#include <vector>
+
+namespace llcf {
+
+/** Complex sample type used throughout the signal module. */
+using Complex = std::complex<double>;
+
+/**
+ * In-place iterative radix-2 decimation-in-time FFT.
+ * @pre data.size() is a power of two.
+ * @param inverse Compute the inverse transform (with 1/N scaling).
+ */
+void fft(std::vector<Complex> &data, bool inverse = false);
+
+/**
+ * Forward FFT of a real signal, zero-padded to the next power of two.
+ * @return complex spectrum of length >= signal size.
+ */
+std::vector<Complex> fftReal(const std::vector<double> &signal);
+
+/** Smallest power of two >= n. */
+std::size_t nextPowerOf2(std::size_t n);
+
+} // namespace llcf
+
+#endif // LLCF_SIGNAL_FFT_HH

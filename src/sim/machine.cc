@@ -1,0 +1,596 @@
+#include "machine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace llcf {
+
+Machine::Machine(const MachineConfig &cfg, const NoiseProfile &noise,
+                 std::uint64_t seed)
+    : cfg_(cfg),
+      noise_(noise),
+      rng_(mix64(seed ^ 0x6d61636869ULL)),
+      jitterRng_(mix64(seed + 0x7ea5)),
+      allocator_(cfg.physFrames, Rng(mix64(seed + 0xa110c))),
+      sliceHash_(makeOpaqueSliceHash(cfg.llc.slices,
+                                     cfg.sliceSalt ^ mix64(seed))),
+      llc_(cfg.llc, cfg.llcRepl),
+      sf_(cfg.sf, cfg.sfRepl)
+{
+    cfg_.check();
+    l1_.reserve(cfg_.cores);
+    l2_.reserve(cfg_.cores);
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        l1_.emplace_back(cfg_.l1, cfg_.l1Repl);
+        l2_.emplace_back(cfg_.l2, cfg_.l2Repl);
+    }
+    lastSync_.assign(totalSharedSets(), 0);
+    hasStream_.assign(totalSharedSets(), 0);
+    noisePerCycle_ = noise_.accessesPerSetPerCycle();
+}
+
+std::unique_ptr<AddressSpace>
+Machine::newAddressSpace()
+{
+    return std::make_unique<AddressSpace>(allocator_, nextAsid_++);
+}
+
+// ------------------------------------------------------------ mapping
+
+unsigned
+Machine::sliceOf(Addr pa) const
+{
+    return sliceHash_->slice(lineAlign(pa));
+}
+
+unsigned
+Machine::sharedSetOf(Addr pa) const
+{
+    const Addr line = lineAlign(pa);
+    return sliceOf(line) * cfg_.llc.sets + cfg_.llc.setIndex(line);
+}
+
+unsigned
+Machine::l2SetOf(Addr pa) const
+{
+    return cfg_.l2.setIndex(lineAlign(pa));
+}
+
+// ------------------------------------------------------- introspection
+
+bool
+Machine::inL1(unsigned core, Addr pa) const
+{
+    const Addr line = lineAlign(pa);
+    return l1_[core].findWay(cfg_.l1.setIndex(line), line).has_value();
+}
+
+bool
+Machine::inL2(unsigned core, Addr pa) const
+{
+    const Addr line = lineAlign(pa);
+    return l2_[core].findWay(cfg_.l2.setIndex(line), line).has_value();
+}
+
+bool
+Machine::inLlc(Addr pa) const
+{
+    const Addr line = lineAlign(pa);
+    return llc_.findWay(sharedSetOf(line), line).has_value();
+}
+
+bool
+Machine::inSf(Addr pa) const
+{
+    const Addr line = lineAlign(pa);
+    return sf_.findWay(sharedSetOf(line), line).has_value();
+}
+
+// ------------------------------------------------- internal helpers
+
+double
+Machine::effLatency(HitLevel level) const
+{
+    double lat = cfg_.timing.latency(level);
+    if (level == HitLevel::SfTransfer || level == HitLevel::Llc ||
+        level == HitLevel::Dram) {
+        lat *= noise_.memLatencyMul;
+    }
+    return lat;
+}
+
+double
+Machine::effThroughput(HitLevel level) const
+{
+    double thr = cfg_.timing.throughputCost(level);
+    if (level == HitLevel::Llc || level == HitLevel::Dram ||
+        level == HitLevel::SfTransfer) {
+        thr *= noise_.memThroughputMul;
+    }
+    return thr;
+}
+
+Cycles
+Machine::finishOp(double duration)
+{
+    if (noise_.latencyJitter > 0.0) {
+        double mul = 1.0 + noise_.latencyJitter * jitterRng_.nextGaussian();
+        duration *= std::max(0.5, mul);
+    }
+    const double p = noise_.interruptRate * duration;
+    if (p > 0.0 && jitterRng_.nextBool(std::min(p, 1.0))) {
+        duration += jitterRng_.nextExponential(noise_.interruptCostMean);
+        ++stats_.interrupts;
+    }
+    Cycles c = static_cast<Cycles>(duration + 0.5);
+    if (c == 0)
+        c = 1;
+    clock_ += c;
+    return c;
+}
+
+void
+Machine::dropPrivate(unsigned core, Addr line)
+{
+    l1_[core].invalidateLine(cfg_.l1.setIndex(line), line);
+    l2_[core].invalidateLine(cfg_.l2.setIndex(line), line);
+}
+
+void
+Machine::dropAllPrivate(Addr line)
+{
+    for (unsigned c = 0; c < cfg_.cores; ++c)
+        dropPrivate(c, line);
+}
+
+void
+Machine::llcInsert(unsigned s, const CacheLine &line)
+{
+    FillResult fr = llc_.fill(s, line, rng_);
+    if (fr.evicted && fr.victim.owner != kNoiseOwner) {
+        // A real Shared line left the LLC: nothing tracks it any
+        // more, so private Shared copies are back-invalidated.
+        dropAllPrivate(fr.victim.lineAddr);
+    }
+}
+
+void
+Machine::sfAllocate(unsigned s, const CacheLine &entry)
+{
+    FillResult fr = sf_.fill(s, entry, rng_);
+    if (!fr.evicted)
+        return;
+    const CacheLine v = fr.victim;
+    if (v.owner != kNoiseOwner) {
+        // Evicting an SF entry evicts the owner's private copies.
+        dropPrivate(v.owner, v.lineAddr);
+    }
+    // Reuse predictor decides whether the evicted line is worth
+    // keeping in the LLC (Section 2.3).
+    if (rng_.nextBool(cfg_.sfEvictToLlcProb))
+        llcInsert(s, CacheLine{v.lineAddr, CohState::Shared, v.owner});
+}
+
+void
+Machine::fillPrivate(unsigned core, Addr line, CohState coh)
+{
+    const unsigned l2s = cfg_.l2.setIndex(line);
+    FillResult fr = l2_[core].fill(l2s, CacheLine{line, coh,
+                                   static_cast<std::uint8_t>(core)}, rng_);
+    if (fr.evicted) {
+        const CacheLine v = fr.victim;
+        // Keep L1 inclusive in L2.
+        l1_[core].invalidateLine(cfg_.l1.setIndex(v.lineAddr), v.lineAddr);
+        if (v.coh == CohState::Exclusive || v.coh == CohState::Modified) {
+            // Private line left the owner's L2: free its SF entry
+            // (simplified stale-entry model; see machine.hh) and let
+            // the reuse predictor decide on LLC insertion.
+            const unsigned vs = sharedSetOf(v.lineAddr);
+            sf_.invalidateLine(vs, v.lineAddr);
+            if (rng_.nextBool(cfg_.sfEvictToLlcProb)) {
+                llcInsert(vs, CacheLine{v.lineAddr, CohState::Shared,
+                                        v.owner});
+            }
+        }
+        // Shared victims are silent: the LLC still tracks them.
+    }
+    FillResult f1 = l1_[core].fill(cfg_.l1.setIndex(line),
+                                   CacheLine{line, coh,
+                                   static_cast<std::uint8_t>(core)}, rng_);
+    (void)f1; // L1 evictions are silent: the line remains in L2
+}
+
+void
+Machine::upgradeToModified(unsigned core, Addr line)
+{
+    const unsigned s = sharedSetOf(line);
+    llc_.invalidateLine(s, line);
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        if (c != core)
+            dropPrivate(c, line);
+    }
+    // Flip the local copies to Modified.
+    const unsigned l1s = cfg_.l1.setIndex(line);
+    const unsigned l2s = cfg_.l2.setIndex(line);
+    if (auto w = l1_[core].findWay(l1s, line)) {
+        l1_[core].setLineState(l1s, *w, CohState::Modified,
+                               static_cast<std::uint8_t>(core));
+    }
+    if (auto w = l2_[core].findWay(l2s, line)) {
+        l2_[core].setLineState(l2s, *w, CohState::Modified,
+                               static_cast<std::uint8_t>(core));
+    }
+    sfAllocate(s, CacheLine{line, CohState::Modified,
+                            static_cast<std::uint8_t>(core)});
+}
+
+void
+Machine::noiseTouch(unsigned s)
+{
+    ++stats_.noiseAccesses;
+    const Addr tag = kNoiseBase | (noiseCounter_++ << kLineBits);
+    if (rng_.nextBool(noise_.sfFraction)) {
+        sfAllocate(s, CacheLine{tag, CohState::Exclusive, kNoiseOwner});
+    } else {
+        llcInsert(s, CacheLine{tag, CohState::Shared, kNoiseOwner});
+    }
+}
+
+void
+Machine::syncSharedSet(unsigned s)
+{
+    const Cycles t = clock_;
+    const Cycles last = lastSync_[s];
+    if (t <= last)
+        return;
+    lastSync_[s] = t;
+
+    // Tenant noise: Poisson arrivals with optional burstiness that
+    // preserves the mean access rate.
+    const double dt = static_cast<double>(t - last);
+    const double lam = noisePerCycle_ * dt;
+    if (lam > 0.0) {
+        const double burst = std::max(1.0, noise_.burstMean);
+        const double arrival_lam = lam / burst;
+        std::uint64_t arrivals;
+        if (arrival_lam < 1e-3)
+            arrivals = rng_.nextBool(arrival_lam) ? 1 : 0;
+        else
+            arrivals = rng_.nextPoisson(arrival_lam);
+        for (std::uint64_t a = 0; a < arrivals; ++a) {
+            std::uint64_t size = 1;
+            if (burst > 1.0)
+                size += rng_.nextPoisson(burst - 1.0);
+            for (std::uint64_t i = 0; i < size; ++i)
+                noiseTouch(s);
+        }
+    }
+
+    // Registered streams (victim accesses) due in (last, t].
+    if (hasStream_[s]) {
+        auto it = setStreams_.find(s);
+        if (it != setStreams_.end()) {
+            for (std::size_t idx : it->second) {
+                Stream &st = streams_[idx];
+                while (st.cursor < st.times.size() &&
+                       st.times[st.cursor] <= t) {
+                    ++st.cursor;
+                    ++stats_.streamAccesses;
+                    accessLine(st.core, st.line, st.isStore);
+                }
+            }
+        }
+    }
+}
+
+Machine::AccessOutcome
+Machine::accessLine(unsigned core, Addr line, bool is_store, bool probe)
+{
+    line = lineAlign(line);
+    const unsigned s = sharedSetOf(line);
+    syncSharedSet(s);
+
+    if (is_store)
+        ++stats_.stores;
+    else
+        ++stats_.loads;
+
+    // L1.
+    const unsigned l1s = cfg_.l1.setIndex(line);
+    CacheArray &l1 = l1_[core];
+    if (auto w = l1.findWay(l1s, line)) {
+        if (is_store && l1.line(l1s, *w).coh == CohState::Shared) {
+            upgradeToModified(core, line);
+            return {effLatency(HitLevel::SfTransfer),
+                    HitLevel::SfTransfer};
+        }
+        l1.onHit(l1s, *w);
+        ++stats_.l1Hits;
+        return {effLatency(HitLevel::L1), HitLevel::L1};
+    }
+
+    // L2.
+    const unsigned l2s = cfg_.l2.setIndex(line);
+    CacheArray &l2 = l2_[core];
+    if (auto w = l2.findWay(l2s, line)) {
+        const CohState coh = l2.line(l2s, *w).coh;
+        if (is_store && coh == CohState::Shared) {
+            upgradeToModified(core, line);
+            return {effLatency(HitLevel::SfTransfer),
+                    HitLevel::SfTransfer};
+        }
+        l2.onHit(l2s, *w);
+        // Refill L1 (kept inclusive); the L1 victim stays in L2.
+        l1.fill(l1s, CacheLine{line, coh,
+                static_cast<std::uint8_t>(core)}, rng_);
+        ++stats_.l2Hits;
+        return {effLatency(HitLevel::L2), HitLevel::L2};
+    }
+
+    // Snoop filter: the line is private to some core.
+    if (auto w = sf_.findWay(s, line)) {
+        const CacheLine entry = sf_.line(s, *w);
+        const unsigned owner = entry.owner;
+        ++stats_.sfTransfers;
+        if (is_store) {
+            // RFO: steal exclusive ownership.
+            if (owner != core && owner != kNoiseOwner)
+                dropPrivate(owner, line);
+            sf_.setLineState(s, *w, CohState::Modified,
+                             static_cast<std::uint8_t>(core));
+            sf_.onHit(s, *w);
+            fillPrivate(core, line, CohState::Modified);
+            return {effLatency(HitLevel::SfTransfer),
+                    HitLevel::SfTransfer};
+        }
+        // Load hit on a private line: transition to Shared.  The line
+        // moves into the LLC and its SF entry is freed (Section 2.3).
+        if (owner != core && owner != kNoiseOwner) {
+            const unsigned ol1 = cfg_.l1.setIndex(line);
+            const unsigned ol2 = cfg_.l2.setIndex(line);
+            if (auto ow = l1_[owner].findWay(ol1, line)) {
+                l1_[owner].setLineState(ol1, *ow, CohState::Shared,
+                        static_cast<std::uint8_t>(owner));
+            }
+            if (auto ow = l2_[owner].findWay(ol2, line)) {
+                l2_[owner].setLineState(ol2, *ow, CohState::Shared,
+                        static_cast<std::uint8_t>(owner));
+            }
+        }
+        sf_.invalidateWay(s, *w);
+        llcInsert(s, CacheLine{line, CohState::Shared,
+                               static_cast<std::uint8_t>(core)});
+        fillPrivate(core, line, CohState::Shared);
+        return {effLatency(HitLevel::SfTransfer), HitLevel::SfTransfer};
+    }
+
+    // LLC.
+    if (auto w = llc_.findWay(s, line)) {
+        ++stats_.llcHits;
+        if (is_store) {
+            // Shared -> Modified: leave the LLC, allocate an SF entry.
+            llc_.invalidateWay(s, *w);
+            dropAllPrivate(line);
+            sfAllocate(s, CacheLine{line, CohState::Modified,
+                                    static_cast<std::uint8_t>(core)});
+            fillPrivate(core, line, CohState::Modified);
+            return {effLatency(HitLevel::Llc), HitLevel::Llc};
+        }
+        if (probe) {
+            // Scope probe: observe without disturbing LLC state.
+            fillPrivate(core, line, CohState::Shared);
+            return {effLatency(HitLevel::Llc), HitLevel::Llc};
+        }
+        // Does any other core still hold a Shared copy?
+        bool other_sharer = false;
+        const unsigned l1s_x = cfg_.l1.setIndex(line);
+        const unsigned l2s_x = cfg_.l2.setIndex(line);
+        for (unsigned c = 0; c < cfg_.cores && !other_sharer; ++c) {
+            if (c == core)
+                continue;
+            other_sharer = l1_[c].findWay(l1s_x, line).has_value() ||
+                           l2_[c].findWay(l2s_x, line).has_value();
+        }
+        if (other_sharer) {
+            // Still shared: the LLC keeps tracking it.
+            llc_.onHit(s, *w);
+            fillPrivate(core, line, CohState::Shared);
+        } else {
+            // Sole requester: the line upgrades to Exclusive, leaves
+            // the mostly-exclusive LLC and is re-tracked by the SF
+            // (Section 2.3: E-transitioning lines are removed from
+            // the LLC and get an SF entry).
+            llc_.invalidateWay(s, *w);
+            sfAllocate(s, CacheLine{line, CohState::Exclusive,
+                                    static_cast<std::uint8_t>(core)});
+            fillPrivate(core, line, CohState::Exclusive);
+        }
+        return {effLatency(HitLevel::Llc), HitLevel::Llc};
+    }
+
+    // Memory.
+    ++stats_.dramFills;
+    const CohState coh = is_store ? CohState::Modified
+                                  : CohState::Exclusive;
+    sfAllocate(s, CacheLine{line, coh, static_cast<std::uint8_t>(core)});
+    fillPrivate(core, line, coh);
+    return {effLatency(HitLevel::Dram), HitLevel::Dram};
+}
+
+// -------------------------------------------------------- public ops
+
+Cycles
+Machine::load(unsigned core, Addr pa)
+{
+    return finishOp(accessLine(core, pa, false).latency);
+}
+
+Cycles
+Machine::store(unsigned core, Addr pa)
+{
+    return finishOp(accessLine(core, pa, true).latency);
+}
+
+Cycles
+Machine::timedLoad(unsigned core, Addr pa)
+{
+    const double lat = accessLine(core, pa, false).latency;
+    return finishOp(lat + cfg_.timing.timedOverhead);
+}
+
+Cycles
+Machine::chaseLoad(unsigned core, Addr pa)
+{
+    const double lat = accessLine(core, pa, false).latency;
+    return finishOp(lat + cfg_.timing.chaseOverhead);
+}
+
+Cycles
+Machine::probeLoad(unsigned core, Addr pa)
+{
+    const double lat = accessLine(core, pa, false, true).latency;
+    return finishOp(lat + cfg_.timing.timedOverhead);
+}
+
+Cycles
+Machine::loadShared(unsigned core, unsigned helper, Addr pa)
+{
+    const double lat = accessLine(core, pa, false).latency;
+    // Helper core repeats the access concurrently (not charged).
+    accessLine(helper, pa, false);
+    return finishOp(lat);
+}
+
+namespace {
+
+/** Chunk size for long MLP bursts so background events interleave. */
+constexpr std::size_t kBurstChunk = 128;
+
+} // namespace
+
+Cycles
+Machine::parallelAccess(unsigned core, std::span<const Addr> pas,
+                        bool is_store, int helper)
+{
+    Cycles total = 0;
+    bool first = true;
+    for (std::size_t base = 0; base < pas.size(); base += kBurstChunk) {
+        const std::size_t end = std::min(pas.size(), base + kBurstChunk);
+        double max_lat = 0.0, thr_sum = 0.0;
+        for (std::size_t i = base; i < end; ++i) {
+            AccessOutcome out = accessLine(core, pas[i], is_store);
+            if (helper >= 0)
+                accessLine(static_cast<unsigned>(helper), pas[i],
+                           is_store);
+            max_lat = std::max(max_lat, out.latency);
+            thr_sum += effThroughput(out.level);
+        }
+        // An overlapped burst is bound either by the slowest single
+        // access or by sustained throughput, whichever dominates.
+        double d = std::max(max_lat, thr_sum);
+        if (first) {
+            d += cfg_.timing.parallelFixed;
+            first = false;
+        }
+        total += finishOp(d);
+    }
+    return total;
+}
+
+Cycles
+Machine::parallelLoads(unsigned core, std::span<const Addr> pas)
+{
+    return parallelAccess(core, pas, false, -1);
+}
+
+Cycles
+Machine::parallelStores(unsigned core, std::span<const Addr> pas)
+{
+    return parallelAccess(core, pas, true, -1);
+}
+
+Cycles
+Machine::parallelLoadsShared(unsigned core, unsigned helper,
+                             std::span<const Addr> pas)
+{
+    return parallelAccess(core, pas, false, static_cast<int>(helper));
+}
+
+Cycles
+Machine::clflush(unsigned core, Addr pa)
+{
+    (void)core;
+    const Addr line = lineAlign(pa);
+    const unsigned s = sharedSetOf(line);
+    syncSharedSet(s);
+    dropAllPrivate(line);
+    sf_.invalidateLine(s, line);
+    llc_.invalidateLine(s, line);
+    return finishOp(cfg_.timing.clflushCost);
+}
+
+Cycles
+Machine::clflushMany(unsigned core, std::span<const Addr> pas)
+{
+    (void)core;
+    Cycles total = 0;
+    for (std::size_t base = 0; base < pas.size(); base += kBurstChunk) {
+        const std::size_t end = std::min(pas.size(), base + kBurstChunk);
+        for (std::size_t i = base; i < end; ++i) {
+            const Addr line = lineAlign(pas[i]);
+            const unsigned s = sharedSetOf(line);
+            syncSharedSet(s);
+            dropAllPrivate(line);
+            sf_.invalidateLine(s, line);
+            llc_.invalidateLine(s, line);
+        }
+        total += finishOp(static_cast<double>(end - base) *
+                          cfg_.timing.clflushThroughput);
+    }
+    return total;
+}
+
+// ----------------------------------------------------------- streams
+
+Machine::StreamId
+Machine::addStream(unsigned core, Addr pa, std::vector<Cycles> times,
+                   bool is_store)
+{
+    if (core >= cfg_.cores)
+        fatal("stream core %u out of range", core);
+    std::sort(times.begin(), times.end());
+    Stream st;
+    st.id = nextStreamId_++;
+    st.core = core;
+    st.line = lineAlign(pa);
+    st.isStore = is_store;
+    st.times = std::move(times);
+    const unsigned s = sharedSetOf(st.line);
+    streams_.push_back(std::move(st));
+    setStreams_[s].push_back(streams_.size() - 1);
+    hasStream_[s] = 1;
+    return streams_.back().id;
+}
+
+void
+Machine::removeStream(StreamId id)
+{
+    for (auto &st : streams_) {
+        if (st.id == id) {
+            st.cursor = st.times.size();
+            return;
+        }
+    }
+}
+
+void
+Machine::clearStreams()
+{
+    streams_.clear();
+    setStreams_.clear();
+    std::fill(hasStream_.begin(), hasStream_.end(), 0);
+}
+
+} // namespace llcf

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * The simulated multi-core server: private L1/L2 per core, a sliced
+ * non-inclusive LLC plus snoop filter (SF) shared by all cores, a
+ * virtual clock, a contention/latency model, and lazily-replayed
+ * background activity (tenant noise and victim access streams).
+ *
+ * Coherence model (paper Section 2.3, simplified but behaviour-
+ * preserving):
+ *  - A line in Exclusive/Modified state lives in exactly one core's
+ *    L1/L2 and is tracked by an SF entry.
+ *  - A line in Shared state is resident in the LLC (and possibly in
+ *    private caches); it has no SF entry.
+ *  - Evicting an SF entry back-invalidates the owner's private copies;
+ *    the line is inserted into the LLC with the reuse-predictor
+ *    probability, otherwise written back to memory.
+ *  - Evicting an LLC line back-invalidates all private Shared copies.
+ *  - A load that hits a private line of another core downgrades it to
+ *    Shared: the line moves into the LLC and its SF entry is freed.
+ *  - A store (RFO) obtains Modified ownership: LLC and remote copies
+ *    are invalidated and an SF entry is allocated.
+ *  - L1 is kept inclusive in L2; an L2 eviction of a private line
+ *    frees its SF entry (stale-entry corner cases are simplified away;
+ *    see DESIGN.md).
+ *
+ * Background activity is applied lazily per shared set: each LLC/SF
+ * set keeps a last-sync timestamp, and the first access after time
+ * advances replays the Poisson tenant noise and any registered victim
+ * stream events that fell into the gap.  This makes a 57,344-set noisy
+ * machine cheap while preserving per-set event ordering.
+ */
+
+#ifndef LLCF_SIM_MACHINE_HH
+#define LLCF_SIM_MACHINE_HH
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "cache/slice_hash.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "mem/address_space.hh"
+#include "noise/profile.hh"
+#include "sim/configs.hh"
+
+namespace llcf {
+
+/** Aggregate event counters, for tests and diagnostics. */
+struct MachineStats
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t sfTransfers = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t dramFills = 0;
+    std::uint64_t noiseAccesses = 0;
+    std::uint64_t streamAccesses = 0;
+    std::uint64_t interrupts = 0;
+};
+
+/**
+ * A simulated host.  All memory operations take physical line
+ * addresses; callers translate via AddressSpace (attack code treats
+ * the translated values as opaque pointers and never inspects PA
+ * bits — see evset/ for the enforced discipline).
+ */
+class Machine
+{
+  public:
+    /** Identifies a registered background access stream. */
+    using StreamId = std::uint64_t;
+
+    Machine(const MachineConfig &cfg, const NoiseProfile &noise,
+            std::uint64_t seed);
+
+    // ------------------------------------------------------ plumbing
+
+    /** The configuration this machine was built from. */
+    const MachineConfig &config() const { return cfg_; }
+
+    /** The environment noise profile. */
+    const NoiseProfile &noiseProfile() const { return noise_; }
+
+    /** Event counters. */
+    const MachineStats &stats() const { return stats_; }
+
+    /** Backing physical frame allocator. */
+    PageAllocator &allocator() { return allocator_; }
+
+    /** Create a new process address space. */
+    std::unique_ptr<AddressSpace> newAddressSpace();
+
+    // --------------------------------------------------------- clock
+
+    /** Current virtual time in cycles. */
+    Cycles now() const { return clock_; }
+
+    /** Spin the clock forward without memory activity. */
+    void idle(Cycles dt) { clock_ += dt; }
+
+    // ------------------------------------------------ memory ops
+    // All operations advance the clock by the returned duration.
+
+    /** One load; returns its latency. */
+    Cycles load(unsigned core, Addr pa);
+
+    /** One store (RFO semantics); returns its latency. */
+    Cycles store(unsigned core, Addr pa);
+
+    /**
+     * One timed load (fenced rdtscp pair).  Returns the measured
+     * latency including measurement overhead — the value an attacker
+     * compares against LatencyThresholds.
+     */
+    Cycles timedLoad(unsigned core, Addr pa);
+
+    /**
+     * Dependent pointer-chase load (serialised, no MLP), as used by
+     * sequential TestEviction implementations.  The chase overhead
+     * includes the TLB-walk cost of page-granular random chains.
+     */
+    Cycles chaseLoad(unsigned core, Addr pa);
+
+    /**
+     * Timed probe that does not disturb LLC/SF replacement state on a
+     * hit — the Prime+Scope "scope" primitive, whose whole point is
+     * overcoming the observer effect of ordinary probes.
+     */
+    Cycles probeLoad(unsigned core, Addr pa);
+
+    /**
+     * Load on @p core while a helper core concurrently repeats the
+     * access, leaving the line Shared and LLC-resident (the helper-
+     * thread technique of Section 4.2).  Only the main core's time is
+     * charged; the helper runs on its own core in parallel.
+     */
+    Cycles loadShared(unsigned core, unsigned helper, Addr pa);
+
+    /**
+     * Overlapped (MLP) loads of @p pas; returns the burst duration.
+     * Long bursts are chunked internally so background activity
+     * interleaves realistically.
+     */
+    Cycles parallelLoads(unsigned core, std::span<const Addr> pas);
+
+    /** Overlapped stores (RFO) of @p pas. */
+    Cycles parallelStores(unsigned core, std::span<const Addr> pas);
+
+    /** Overlapped helper-shared loads of @p pas. */
+    Cycles parallelLoadsShared(unsigned core, unsigned helper,
+                               std::span<const Addr> pas);
+
+    /** Flush one line from every cache level. */
+    Cycles clflush(unsigned core, Addr pa);
+
+    /**
+     * Flush many lines back-to-back; clflush is weakly ordered, so
+     * the cost is throughput-bound rather than per-line latency.
+     */
+    Cycles clflushMany(unsigned core, std::span<const Addr> pas);
+
+    // ------------------------------------------- background streams
+
+    /**
+     * Register a timed access stream (e.g. the victim's secret-
+     * dependent code fetches).  @p times are absolute cycle stamps,
+     * sorted ascending; each is applied as one access by @p core to
+     * @p pa when the containing set is next synchronised.
+     */
+    StreamId addStream(unsigned core, Addr pa, std::vector<Cycles> times,
+                       bool is_store = false);
+
+    /** Remove a stream; pending events are dropped. */
+    void removeStream(StreamId id);
+
+    /** Remove all streams. */
+    void clearStreams();
+
+    // --------------------------------- introspection (ground truth)
+    // For tests and validation only; attack code must not use these.
+
+    /** LLC/SF slice of a physical address. */
+    unsigned sliceOf(Addr pa) const;
+
+    /** Flat shared (LLC/SF) set id of a physical address. */
+    unsigned sharedSetOf(Addr pa) const;
+
+    /** L2 set index of a physical address. */
+    unsigned l2SetOf(Addr pa) const;
+
+    /** True iff the line is in @p core's L1. */
+    bool inL1(unsigned core, Addr pa) const;
+
+    /** True iff the line is in @p core's L2. */
+    bool inL2(unsigned core, Addr pa) const;
+
+    /** True iff the line is LLC-resident. */
+    bool inLlc(Addr pa) const;
+
+    /** True iff the line has an SF entry. */
+    bool inSf(Addr pa) const;
+
+    /** Total shared sets (slices x sets per slice). */
+    unsigned totalSharedSets() const { return llc_.geometry().totalSets(); }
+
+  private:
+    /** Owner id used for synthetic other-tenant lines. */
+    static constexpr std::uint8_t kNoiseOwner = 0xff;
+
+    /** Tag space for synthetic other-tenant lines. */
+    static constexpr Addr kNoiseBase = 1ULL << 62;
+
+    struct Stream
+    {
+        StreamId id = 0;
+        unsigned core = 0;
+        Addr line = 0;
+        bool isStore = false;
+        std::vector<Cycles> times;
+        std::size_t cursor = 0;
+    };
+
+    struct AccessOutcome
+    {
+        double latency = 0.0; //!< raw dependent-access latency
+        HitLevel level = HitLevel::L1;
+    };
+
+    // Core access path; mutates all cache state, no clock change.
+    // With probe=true, LLC/SF hits do not update replacement state.
+    AccessOutcome accessLine(unsigned core, Addr line, bool is_store,
+                             bool probe = false);
+
+    /** Shared implementation of the overlapped-burst operations. */
+    Cycles parallelAccess(unsigned core, std::span<const Addr> pas,
+                          bool is_store, int helper);
+
+    /** Apply background noise + streams to shared set @p s up to now. */
+    void syncSharedSet(unsigned s);
+
+    /** One synthetic other-tenant access to shared set @p s. */
+    void noiseTouch(unsigned s);
+
+    /** Insert a line into the LLC at set @p s, handling evictions. */
+    void llcInsert(unsigned s, const CacheLine &line);
+
+    /** Allocate an SF entry at set @p s, handling evictions. */
+    void sfAllocate(unsigned s, const CacheLine &entry);
+
+    /** Remove a line from @p core's L1/L2 (no SF/LLC bookkeeping). */
+    void dropPrivate(unsigned core, Addr line);
+
+    /** Remove Shared copies of @p line from every core's L1/L2. */
+    void dropAllPrivate(Addr line);
+
+    /** Fill @p line into @p core's L2 then L1, handling L2 evictions. */
+    void fillPrivate(unsigned core, Addr line, CohState coh);
+
+    /** Upgrade a Shared line to Modified ownership by @p core. */
+    void upgradeToModified(unsigned core, Addr line);
+
+    /** Latency with contention multiplier applied. */
+    double effLatency(HitLevel level) const;
+
+    /** Throughput cost with contention multiplier applied. */
+    double effThroughput(HitLevel level) const;
+
+    /** Add jitter and possible interrupt cost, then advance clock. */
+    Cycles finishOp(double duration);
+
+    MachineConfig cfg_;
+    NoiseProfile noise_;
+
+    Rng rng_;       //!< machine-internal randomness (replacement, noise)
+    Rng jitterRng_; //!< timing jitter, decoupled from state randomness
+
+    PageAllocator allocator_;
+    unsigned nextAsid_ = 0;
+
+    std::unique_ptr<SliceHash> sliceHash_;
+
+    std::vector<CacheArray> l1_; //!< per core
+    std::vector<CacheArray> l2_; //!< per core
+    CacheArray llc_;
+    CacheArray sf_;
+
+    Cycles clock_ = 0;
+
+    // Lazy background replay state.
+    std::vector<Cycles> lastSync_;        //!< per shared set
+    std::vector<std::uint8_t> hasStream_; //!< per shared set
+    std::unordered_map<unsigned, std::vector<std::size_t>> setStreams_;
+    std::vector<Stream> streams_;
+    StreamId nextStreamId_ = 1;
+    Addr noiseCounter_ = 0;
+    double noisePerCycle_ = 0.0;
+
+    MachineStats stats_;
+};
+
+} // namespace llcf
+
+#endif // LLCF_SIM_MACHINE_HH

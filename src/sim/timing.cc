@@ -1,0 +1,59 @@
+#include "timing.hh"
+
+namespace llcf {
+
+const char *
+hitLevelName(HitLevel level)
+{
+    switch (level) {
+      case HitLevel::L1:
+        return "L1";
+      case HitLevel::L2:
+        return "L2";
+      case HitLevel::SfTransfer:
+        return "SF-transfer";
+      case HitLevel::Llc:
+        return "LLC";
+      case HitLevel::Dram:
+        return "DRAM";
+    }
+    return "?";
+}
+
+double
+TimingParams::latency(HitLevel level) const
+{
+    switch (level) {
+      case HitLevel::L1:
+        return l1Hit;
+      case HitLevel::L2:
+        return l2Hit;
+      case HitLevel::SfTransfer:
+        return sfTransfer;
+      case HitLevel::Llc:
+        return llcHit;
+      case HitLevel::Dram:
+        return dram;
+    }
+    return dram;
+}
+
+double
+TimingParams::throughputCost(HitLevel level) const
+{
+    switch (level) {
+      case HitLevel::L1:
+        return thrL1;
+      case HitLevel::L2:
+        return thrL2;
+      case HitLevel::SfTransfer:
+        return thrLlc;
+      case HitLevel::Llc:
+        return thrLlc;
+      case HitLevel::Dram:
+        return thrDram;
+    }
+    return thrDram;
+}
+
+} // namespace llcf

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The victim: a containerized web service signing requests with the
+ * vulnerable Montgomery-ladder ECDSA (paper Section 7.1).
+ *
+ * Each triggered signing runs the real sect571r1 ladder to obtain the
+ * nonce's bit sequence, then replays the Figure 8 code-fetch pattern
+ * into the simulated machine as a timed access stream:
+ *
+ *  - the target cache line is fetched at every iteration boundary
+ *    (the `if (bit)` line acts as the attacker's clock), and
+ *  - once more at the iteration midpoint when the branch direction
+ *    matching the monitored line is taken (with the instrumented
+ *    layout of Section 7.1, the bit value 0).
+ *
+ * Additional "decoy" lines model MAdd/MDouble body fetches — the
+ * false-positive sources the paper's Section 7.2 scanner must reject.
+ */
+
+#ifndef LLCF_VICTIM_VICTIM_HH
+#define LLCF_VICTIM_VICTIM_HH
+
+#include <vector>
+
+#include "crypto/ecdsa.hh"
+#include "sim/machine.hh"
+
+namespace llcf {
+
+/** Victim service parameters. */
+struct VictimConfig
+{
+    unsigned core = 2;         //!< physical core the victim runs on
+
+    /** Ladder-iteration duration (paper: ~9,700 cycles at 2 GHz). */
+    Cycles iterationCycles = 9700;
+
+    /** Per-iteration duration jitter (fraction). */
+    double iterationJitter = 0.02;
+
+    /**
+     * Monitored-line semantics: true models the instrumented layout
+     * where the midpoint access occurs for bit == 0 (Section 7.1);
+     * false models the original line-2 layout (midpoint on bit == 1).
+     */
+    bool midpointOnZero = true;
+
+    /** Fraction of a request spent in the vulnerable ladder loop. */
+    double dutyCycle = 0.25;
+
+    /** Page-line index of the target line inside the victim binary. */
+    unsigned targetLineIndex = 21;
+
+    /** Number of decoy code/data lines accessed at ladder frequency. */
+    unsigned decoyLines = 3;
+
+    std::uint64_t seed = 99;
+};
+
+/**
+ * A victim service instance on a simulated machine.
+ */
+class VictimService
+{
+  public:
+    /** Ground truth of one triggered signing. */
+    struct Execution
+    {
+        SigningRecord record;
+        Cycles requestStart = 0;
+        Cycles ladderStart = 0;
+        Cycles ladderEnd = 0;
+        Cycles requestEnd = 0;
+        /** Iteration boundary times (size = bits + 1: includes end). */
+        std::vector<Cycles> iterationStarts;
+        /** Per-iteration nonce bits (loop order). */
+        std::vector<std::uint8_t> bits;
+        /** Times the target line was fetched. */
+        std::vector<Cycles> targetAccesses;
+    };
+
+    VictimService(Machine &machine, const VictimConfig &cfg);
+
+    const VictimConfig &config() const { return cfg_; }
+
+    /** The victim's key pair (experimenter-side ground truth). */
+    const EcdsaKeyPair &keyPair() const { return key_; }
+
+    /** Physical address of the monitored cache line. */
+    Addr targetLinePa() const { return targetPa_; }
+
+    /** Page-line index (page offset / 64) of the target line. */
+    unsigned targetLineIndex() const { return cfg_.targetLineIndex; }
+
+    /** Physical addresses of the decoy lines (ground truth). */
+    const std::vector<Addr> &decoyPas() const { return decoyPas_; }
+
+    /**
+     * Schedule one request: signing starts at @p request_start
+     * (absolute machine time, may be in the future).  Registers the
+     * access streams and returns the full ground truth.
+     */
+    Execution triggerSigning(Cycles request_start);
+
+    /**
+     * Schedule back-to-back requests starting at @p first_start,
+     * with idle gaps so the ladder occupies ~dutyCycle of wall time.
+     * @return ground truth per request.
+     */
+    std::vector<Execution> serveRequests(Cycles first_start,
+                                         unsigned count);
+
+    /** Duration of one full request (ladder / dutyCycle) estimate. */
+    Cycles expectedRequestCycles(std::size_t iterations) const;
+
+    /**
+     * Expected frequency (Hz) of target-line accesses while the
+     * ladder runs — the paper's PSD peak location (~0.41 MHz: one
+     * access per half iteration).
+     */
+    double expectedAccessFrequencyHz() const;
+
+  private:
+    Machine &machine_;
+    VictimConfig cfg_;
+    std::unique_ptr<AddressSpace> space_;
+    Ecdsa ecdsa_;
+    EcdsaKeyPair key_;
+    Rng rng_;
+    Addr targetPa_ = 0;
+    std::vector<Addr> decoyPas_;
+    std::uint64_t requestCounter_ = 0;
+};
+
+} // namespace llcf
+
+#endif // LLCF_VICTIM_VICTIM_HH

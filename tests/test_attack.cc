@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Tests for the attack layer: Prime+Probe monitors (detection,
+ * latency ordering, replacement-policy independence of Parallel
+ * Probing), the covert-channel harness, the PSD trace classifier and
+ * target-set scanner, the nonce extractor, and an end-to-end attack
+ * smoke run on a miniature machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/covert.hh"
+#include "attack/e2e.hh"
+#include "attack/extractor.hh"
+#include "attack/scanner.hh"
+#include "noise/profile.hh"
+
+namespace llcf {
+namespace {
+
+NoiseProfile
+silent()
+{
+    NoiseProfile p = quiescentLocal();
+    p.accessesPerSetPerMs = 0.0;
+    p.latencyJitter = 0.0;
+    p.interruptRate = 0.0;
+    return p;
+}
+
+struct AttackRig
+{
+    explicit AttackRig(std::uint64_t seed,
+                       NoiseProfile profile = silent(),
+                       MachineConfig cfg = tinyTest())
+        : machine(cfg, profile, seed),
+          session(machine, AttackerConfig{0, 1, seed}),
+          pool(session, CandidatePool::requiredPages(machine, 3.0))
+    {
+    }
+
+    Machine machine;
+    AttackSession session;
+    CandidatePool pool;
+};
+
+TEST(GroundTruthEvset, ProducesCongruentSet)
+{
+    AttackRig rig(91);
+    const Addr target = rig.pool.at(0, 30);
+    auto evset = groundTruthEvictionSet(rig.machine, rig.pool, target,
+                                        rig.machine.config().sf.ways,
+                                        1);
+    EXPECT_EQ(evset.size(), rig.machine.config().sf.ways);
+    for (Addr a : evset) {
+        EXPECT_EQ(rig.machine.sharedSetOf(a),
+                  rig.machine.sharedSetOf(target));
+        EXPECT_NE(lineAlign(a), lineAlign(target));
+    }
+}
+
+TEST(MatchDetections, CountsWithinEpsilonOnly)
+{
+    EXPECT_DOUBLE_EQ(matchDetections({1000, 2000, 3000},
+                                     {1100, 2600, 3200}, 500),
+                     2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(matchDetections({1000}, {1000}, 500), 0.0);
+    EXPECT_DOUBLE_EQ(matchDetections({1000}, {1500}, 500), 1.0);
+    EXPECT_DOUBLE_EQ(matchDetections({}, {123}, 500), 0.0);
+}
+
+class MonitorTest : public ::testing::Test
+{
+  protected:
+    // Skylake-like geometry (12-way SF): the Table 5 latency
+    // relationships depend on the real associativity.
+    MonitorTest() : rig_(93, silent(), skylakeSp(2))
+    {
+        sender_ = rig_.pool.at(1, 17);
+        evsetA_ = groundTruthEvictionSet(rig_.machine, rig_.pool,
+                                         sender_,
+                                         rig_.machine.config().sf.ways);
+        evsetB_ = groundTruthEvictionSet(rig_.machine, rig_.pool,
+                                         sender_,
+                                         rig_.machine.config().sf.ways,
+                                         rig_.machine.config().sf.ways);
+    }
+
+    AttackRig rig_;
+    Addr sender_ = 0;
+    std::vector<Addr> evsetA_, evsetB_;
+};
+
+TEST_F(MonitorTest, ParallelDetectsSenderAccesses)
+{
+    CovertParams params;
+    params.accessInterval = 20000;
+    params.accesses = 150;
+    auto out = runCovertExperiment(rig_.session, MonitorKind::Parallel,
+                                   evsetA_, {}, sender_, params);
+    EXPECT_GE(out.detectionRate, 0.8);
+}
+
+TEST_F(MonitorTest, QuietSetYieldsNoDetections)
+{
+    auto monitor = PrimeProbeMonitor::make(MonitorKind::Parallel,
+                                           rig_.session, evsetA_);
+    auto detections = monitor->collectTrace(
+        rig_.machine.now() + usToCycles(200.0));
+    EXPECT_LT(detections.size(), 4u);
+}
+
+TEST_F(MonitorTest, LatencyOrderingMatchesTable5)
+{
+    // Parallel priming must be cheaper than PS-Flush priming; PS
+    // probes must be cheaper than parallel probes.
+    CovertParams params;
+    params.accessInterval = 50000;
+    params.accesses = 60;
+    auto par = runCovertExperiment(rig_.session, MonitorKind::Parallel,
+                                   evsetA_, {}, sender_, params);
+    auto flush = runCovertExperiment(rig_.session, MonitorKind::PsFlush,
+                                     evsetA_, {}, sender_, params);
+    ASSERT_FALSE(par.primeLatency.empty());
+    ASSERT_FALSE(flush.primeLatency.empty());
+    EXPECT_LT(par.primeLatency.mean(), flush.primeLatency.mean());
+    EXPECT_LT(flush.probeLatency.mean(), par.probeLatency.mean());
+}
+
+TEST_F(MonitorTest, PsAltNeedsTwoSets)
+{
+    EXPECT_DEATH(
+        {
+            auto m = PrimeProbeMonitor::make(MonitorKind::PsAlt,
+                                             rig_.session, evsetA_);
+            (void)m;
+        },
+        "second eviction set");
+}
+
+TEST_F(MonitorTest, PsAltRunsWithTwoSets)
+{
+    CovertParams params;
+    params.accessInterval = 50000;
+    params.accesses = 60;
+    auto out = runCovertExperiment(rig_.session, MonitorKind::PsAlt,
+                                   evsetA_, evsetB_, sender_, params);
+    ASSERT_FALSE(out.primeLatency.empty());
+    EXPECT_GE(out.detectionRate, 0.0);
+}
+
+TEST_F(MonitorTest, FastSenderFavoursParallel)
+{
+    // At short intervals the cheap parallel prime must beat PS-Flush
+    // (Figure 6's crossover behaviour).
+    CovertParams params;
+    params.accessInterval = 3000;
+    params.accesses = 200;
+    auto par = runCovertExperiment(rig_.session, MonitorKind::Parallel,
+                                   evsetA_, {}, sender_, params);
+    auto flush = runCovertExperiment(rig_.session, MonitorKind::PsFlush,
+                                     evsetA_, {}, sender_, params);
+    EXPECT_GT(par.detectionRate, flush.detectionRate);
+}
+
+class ParallelPolicyTest : public ::testing::TestWithParam<ReplKind>
+{
+};
+
+TEST_P(ParallelPolicyTest, ParallelProbingWorksAcrossPolicies)
+{
+    // Section 6.1's claim: parallel probing needs no replacement-
+    // state preparation and works irrespective of the policy.
+    MachineConfig cfg = tinyTest();
+    cfg.sfRepl = GetParam();
+    cfg.llcRepl = GetParam();
+    AttackRig rig(97, silent(), cfg);
+    const Addr sender = rig.pool.at(2, 9);
+    auto evset = groundTruthEvictionSet(rig.machine, rig.pool, sender,
+                                        rig.machine.config().sf.ways);
+    CovertParams params;
+    params.accessInterval = 20000;
+    params.accesses = 120;
+    auto out = runCovertExperiment(rig.session, MonitorKind::Parallel,
+                                   evset, {}, sender, params);
+    EXPECT_GE(out.detectionRate, 0.6)
+        << replKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ParallelPolicyTest,
+                         ::testing::Values(ReplKind::LRU,
+                                           ReplKind::TreePLRU,
+                                           ReplKind::SRRIP),
+                         [](const auto &info) {
+                             return replKindName(info.param);
+                         });
+
+// ------------------------------------------------------- PSD pipeline
+
+class ScannerTestRig : public ::testing::Test
+{
+  protected:
+    ScannerTestRig() : rig_(101)
+    {
+        VictimConfig vcfg;
+        vcfg.seed = 101;
+        victim_ = std::make_unique<VictimService>(rig_.machine, vcfg);
+    }
+
+    AttackRig rig_;
+    std::unique_ptr<VictimService> victim_;
+};
+
+TEST_F(ScannerTestRig, ClassifierSeparatesTargetFromNoise)
+{
+    ScannerParams params;
+    TraceClassifier classifier(params);
+    ScannerTrainer trainer(rig_.session, *victim_, rig_.pool);
+    Dataset data = trainer.collect(classifier, 40, 80);
+    data.shuffle(rig_.session.rng());
+    auto [train, val] = data.split(0.3);
+    TraceClassifier trained(params);
+    trained.train(train);
+    auto metrics = trained.validate(val);
+    EXPECT_GE(metrics.accuracy(), 0.85);
+    EXPECT_LE(metrics.falsePositiveRate(), 0.15);
+}
+
+TEST_F(ScannerTestRig, ScannerFindsTargetSet)
+{
+    ScannerParams params;
+    params.timeout = secToCycles(10.0);
+    TraceClassifier classifier(params);
+    ScannerTrainer trainer(rig_.session, *victim_, rig_.pool);
+    Dataset data = trainer.collect(classifier, 40, 80);
+    classifier.train(std::move(data));
+
+    // Build real eviction sets for every SF set at the target offset.
+    AttackerConfig acfg;
+    acfg.evsetBudget = msToCycles(100.0);
+    acfg.seed = 5;
+    AttackSession build_session(rig_.machine, acfg);
+    EvictionSetBuilder builder(build_session, PruneAlgo::BinS, true);
+    auto bulk = builder.buildAtLineIndex(rig_.pool,
+                                         victim_->targetLineIndex());
+    ASSERT_GT(bulk.validSets, 0u);
+
+    // Keep the victim busy across the scan window.
+    victim_->serveRequests(rig_.machine.now(), 8);
+    TargetSetScanner scanner(rig_.session, classifier);
+    auto res = scanner.scan(bulk.evsets);
+    ASSERT_TRUE(res.found);
+    EXPECT_EQ(rig_.machine.sharedSetOf(bulk.evsets[res.evsetIndex]
+              .target),
+              rig_.machine.sharedSetOf(victim_->targetLinePa()));
+    EXPECT_GT(res.setsScanned, 0u);
+    EXPECT_GT(res.scanRate(), 0.0);
+}
+
+// --------------------------------------------------------- extraction
+
+class ExtractorTestRig : public ::testing::Test
+{
+  protected:
+    ExtractorTestRig() : rig_(103)
+    {
+        VictimConfig vcfg;
+        vcfg.seed = 103;
+        victim_ = std::make_unique<VictimService>(rig_.machine, vcfg);
+        evset_ = groundTruthEvictionSet(rig_.machine, rig_.pool,
+                                        victim_->targetLinePa(),
+                                        rig_.machine.config().sf.ways);
+    }
+
+    /** Monitor one signing's ladder and return (trace, ground truth). */
+    std::pair<std::vector<Cycles>, VictimService::Execution>
+    captureTrace()
+    {
+        auto exec = victim_->triggerSigning(rig_.machine.now() + 2000);
+        auto monitor = PrimeProbeMonitor::make(MonitorKind::Parallel,
+                                               rig_.session, evset_);
+        if (exec.ladderStart > rig_.machine.now())
+            rig_.machine.idle(exec.ladderStart - rig_.machine.now());
+        auto detections = monitor->collectTrace(exec.ladderEnd);
+        rig_.machine.clearStreams();
+        return {std::move(detections), std::move(exec)};
+    }
+
+    AttackRig rig_;
+    std::unique_ptr<VictimService> victim_;
+    std::vector<Addr> evset_;
+};
+
+TEST_F(ExtractorTestRig, RuleBasedExtractionRecoversMostBits)
+{
+    NonceExtractor extractor; // untrained: all accesses = boundaries
+    auto [trace, exec] = captureTrace();
+    ASSERT_GT(trace.size(), 200u);
+    auto bits = extractor.extract(trace);
+    auto score = extractor.score(bits, exec);
+    EXPECT_GT(score.recoveredFraction(), 0.5);
+    EXPECT_LT(score.bitErrorRate(), 0.2);
+}
+
+TEST_F(ExtractorTestRig, TrainedForestImprovesOrMatches)
+{
+    NonceExtractor extractor;
+    // Train on two traces, evaluate on a third.
+    std::vector<std::vector<Cycles>> traces;
+    std::vector<VictimService::Execution> execs;
+    for (int i = 0; i < 2; ++i) {
+        auto [t, e] = captureTrace();
+        traces.push_back(std::move(t));
+        execs.push_back(std::move(e));
+    }
+    std::vector<const VictimService::Execution *> refs;
+    for (const auto &e : execs)
+        refs.push_back(&e);
+    extractor.train(extractor.buildTrainingSet(traces, refs));
+    EXPECT_TRUE(extractor.trained());
+
+    auto [trace, exec] = captureTrace();
+    auto score = extractor.score(extractor.extract(trace), exec);
+    EXPECT_GT(score.recoveredFraction(), 0.55);
+    EXPECT_LT(score.bitErrorRate(), 0.15);
+}
+
+TEST(Extractor, EmptyAndDegenerateTraces)
+{
+    NonceExtractor extractor;
+    EXPECT_TRUE(extractor.extract({}).empty());
+    EXPECT_TRUE(extractor.extract({12345}).empty());
+    // Two accesses exactly one iteration apart: one bit, value 1
+    // (no midpoint access, midpointMeansZero convention).
+    auto bits = extractor.extract({10000, 19700});
+    ASSERT_EQ(bits.size(), 1u);
+    EXPECT_EQ(bits[0].bit, 1);
+    // With a midpoint access: bit 0.
+    bits = extractor.extract({10000, 14850, 19700});
+    ASSERT_EQ(bits.size(), 1u);
+    EXPECT_EQ(bits[0].bit, 0);
+}
+
+TEST(Extractor, ScoreHandlesNoOverlap)
+{
+    NonceExtractor extractor;
+    VictimService::Execution truth;
+    truth.bits = {1, 0, 1};
+    truth.iterationStarts = {1000000, 1009700, 1019400, 1029100};
+    auto score = extractor.score({{0, 9700, 1}}, truth);
+    EXPECT_EQ(score.recoveredBits, 0u);
+    EXPECT_DOUBLE_EQ(score.recoveredFraction(), 0.0);
+}
+
+// -------------------------------------------------------- end to end
+
+TEST(EndToEnd, MiniatureAttackRecoversNonceBits)
+{
+    AttackRig rig(107);
+    VictimConfig vcfg;
+    vcfg.seed = 107;
+    VictimService victim(rig.machine, vcfg);
+
+    // Offline training (classifier + extractor) on the same host
+    // class, as the paper trains on controlled instances.
+    ScannerParams sparams;
+    sparams.timeout = secToCycles(10.0);
+    TraceClassifier classifier(sparams);
+    ScannerTrainer trainer(rig.session, victim, rig.pool);
+    classifier.train(trainer.collect(classifier, 30, 60));
+
+    NonceExtractor extractor;
+
+    E2EParams params;
+    params.scanner = sparams;
+    params.tracesPerVictim = 3;
+    AttackerConfig acfg;
+    acfg.evsetBudget = msToCycles(100.0);
+    acfg.seed = 9;
+    AttackSession attack_session(rig.machine, acfg);
+    EndToEndAttack attack(attack_session, victim, classifier,
+                          extractor, params);
+    auto res = attack.run(rig.pool);
+    ASSERT_TRUE(res.evsetsBuilt);
+    ASSERT_TRUE(res.targetFound);
+    EXPECT_TRUE(res.targetCorrect);
+    ASSERT_FALSE(res.recoveredFraction.empty());
+    EXPECT_GT(res.recoveredFraction.median(), 0.4);
+    EXPECT_GT(res.totalTime(), 0u);
+}
+
+} // namespace
+} // namespace llcf

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for physical frame allocation and virtual address
+ * spaces: uniqueness, randomisation, translation consistency, and
+ * shared mappings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/address_space.hh"
+
+namespace llcf {
+namespace {
+
+TEST(PageAllocator, FramesAreUniqueAndAligned)
+{
+    PageAllocator alloc(256, Rng(1));
+    std::set<Addr> seen;
+    for (int i = 0; i < 256; ++i) {
+        Addr pa = alloc.allocFrame();
+        EXPECT_EQ(pageOffset(pa), 0u);
+        EXPECT_TRUE(seen.insert(pa).second) << "duplicate frame";
+    }
+    EXPECT_EQ(alloc.freeFrames(), 0u);
+}
+
+TEST(PageAllocator, FreeReturnsFrameToPool)
+{
+    PageAllocator alloc(4, Rng(2));
+    Addr a = alloc.allocFrame();
+    alloc.allocFrame();
+    alloc.allocFrame();
+    alloc.allocFrame();
+    EXPECT_EQ(alloc.freeFrames(), 0u);
+    alloc.freeFrame(a);
+    EXPECT_EQ(alloc.freeFrames(), 1u);
+    EXPECT_EQ(alloc.allocFrame(), a);
+}
+
+TEST(PageAllocator, AllocationOrderIsRandomised)
+{
+    // Two allocators with different seeds should hand out different
+    // frame orders; one allocator should not hand out consecutive
+    // frame numbers (overwhelmingly likely with 4096 frames).
+    PageAllocator a(4096, Rng(3)), b(4096, Rng(4));
+    bool differs = false;
+    bool consecutive = true;
+    Addr prev = a.allocFrame();
+    for (int i = 0; i < 64; ++i) {
+        Addr va = a.allocFrame();
+        Addr vb = b.allocFrame();
+        differs |= va != vb;
+        consecutive &= va == prev + kPageBytes;
+        prev = va;
+    }
+    EXPECT_TRUE(differs);
+    EXPECT_FALSE(consecutive);
+}
+
+class AddressSpaceTest : public ::testing::Test
+{
+  protected:
+    AddressSpaceTest() : alloc_(1024, Rng(5)), space_(alloc_, 0) {}
+
+    PageAllocator alloc_;
+    AddressSpace space_;
+};
+
+TEST_F(AddressSpaceTest, MmapTranslatesConsistently)
+{
+    const Addr base = space_.mmapAnon(8 * kPageBytes);
+    EXPECT_EQ(space_.pageCount(), 8u);
+    for (unsigned p = 0; p < 8; ++p) {
+        for (unsigned off : {0u, 64u, 4095u}) {
+            const Addr va = base + p * kPageBytes + off;
+            const Addr pa = space_.translate(va);
+            // Page offsets are preserved by translation.
+            EXPECT_EQ(pageOffset(pa), off);
+            // Translation is stable.
+            EXPECT_EQ(space_.translate(va), pa);
+        }
+    }
+}
+
+TEST_F(AddressSpaceTest, DistinctPagesGetDistinctFrames)
+{
+    const Addr base = space_.mmapAnon(16 * kPageBytes);
+    std::set<Addr> frames;
+    for (unsigned p = 0; p < 16; ++p)
+        frames.insert(space_.translate(base + p * kPageBytes));
+    EXPECT_EQ(frames.size(), 16u);
+}
+
+TEST_F(AddressSpaceTest, IsMappedReflectsMappings)
+{
+    const Addr base = space_.mmapAnon(kPageBytes);
+    EXPECT_TRUE(space_.isMapped(base));
+    EXPECT_TRUE(space_.isMapped(base + 4095));
+    EXPECT_FALSE(space_.isMapped(base + 8 * kPageBytes));
+}
+
+TEST_F(AddressSpaceTest, SeparateMappingsDoNotOverlap)
+{
+    const Addr a = space_.mmapAnon(4 * kPageBytes);
+    const Addr b = space_.mmapAnon(4 * kPageBytes);
+    EXPECT_GE(b, a + 4 * kPageBytes);
+}
+
+TEST_F(AddressSpaceTest, MapSharedAliasesFrames)
+{
+    const Addr base = space_.mmapAnon(2 * kPageBytes);
+    const auto frames = space_.framesOf(base, 2 * kPageBytes);
+    ASSERT_EQ(frames.size(), 2u);
+
+    AddressSpace other(alloc_, 1);
+    const Addr shared = other.mapShared(frames);
+    EXPECT_EQ(other.translate(shared + 100), space_.translate(base + 100));
+    EXPECT_EQ(other.translate(shared + kPageBytes),
+              space_.translate(base + kPageBytes));
+}
+
+TEST_F(AddressSpaceTest, DifferentSpacesGetDifferentVaRanges)
+{
+    AddressSpace other(alloc_, 1);
+    const Addr a = space_.mmapAnon(kPageBytes);
+    const Addr b = other.mmapAnon(kPageBytes);
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace llcf
