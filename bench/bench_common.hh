@@ -11,12 +11,12 @@
  *                      (default: 8 slices, ~3.5x smaller U)
  *   LLCF_TRIALS=<n>    override per-cell trial counts
  *   LLCF_SEED=<n>      base RNG seed (default 42)
+ *   LLCF_THREADS=<n>   worker threads for harness-driven benches
+ *   LLCF_JSON_OUT=<p>  output path for harness BENCH_*.json files
  */
 
 #ifndef LLCF_BENCH_BENCH_COMMON_HH
 #define LLCF_BENCH_BENCH_COMMON_HH
-
-#include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <memory>

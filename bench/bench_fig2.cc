@@ -6,75 +6,109 @@
  *
  * Paper reference: ~11.5 accesses/ms/set on Cloud Run vs ~0.29 on
  * the local machine; the Cloud Run CDF reaches ~1 within ~300 us.
+ *
+ * Runs on the harness: the per-environment trials fan out across
+ * LLCF_THREADS workers on independent RNG streams; aggregates and
+ * BENCH_fig2.json are identical for any thread count.
  */
 
 #include "attack/covert.hh"
 #include "attack/monitor.hh"
 #include "bench_common.hh"
+#include "harness/experiment.hh"
+#include "harness/thread_pool.hh"
 
 namespace llcf {
 namespace {
 
 void
-BM_Fig2(benchmark::State &state)
+runEnvironment(ExperimentSuite &suite, int env)
 {
-    const int env = static_cast<int>(state.range(0));
-    const std::size_t trials = trialCount(6);
     // Paper: 1,000 back-to-back background accesses per trial.
     const std::size_t accesses_per_trial =
         envU64("LLCF_FIG2_ACCESSES", 400);
 
-    SampleStats gaps_us;
-    double total_accesses = 0.0, total_ms = 0.0;
-    for (auto _ : state) {
-        for (std::size_t t = 0; t < trials; ++t) {
-            BenchRig rig(skylakeSp(4), benchProfile(env),
-                         baseSeed() + t * 157, msToCycles(100.0));
-            const unsigned w = rig.machine.config().sf.ways;
-            const Addr target = rig.pool->at(5 + t, 44);
-            auto evset = groundTruthEvictionSet(rig.machine, *rig.pool,
-                                                target, w);
-            auto monitor = PrimeProbeMonitor::make(
-                MonitorKind::Parallel, *rig.session, evset);
-            // Collect until enough detections or a time cap.
-            const Cycles start = rig.machine.now();
-            const Cycles cap = start + msToCycles(env == 0 ? 400.0
-                                                           : 40.0);
-            auto detections = monitor->collectTrace(cap);
-            while (detections.size() > accesses_per_trial)
-                detections.pop_back();
-            for (std::size_t i = 1; i < detections.size(); ++i) {
-                gaps_us.add(cyclesToUs(detections[i] -
-                                       detections[i - 1]));
-            }
-            total_accesses += static_cast<double>(detections.size());
-            total_ms += cyclesToMs(rig.machine.now() - start);
+    ExperimentConfig cfg;
+    cfg.name = std::string("Fig2 @ ") + benchProfileName(env);
+    cfg.trials = trialCount(6);
+    cfg.masterSeed = baseSeed();
+
+    ExperimentRunner runner(cfg);
+    ExperimentResult result = runner.run(
+        [env, accesses_per_trial](TrialContext &ctx, TrialRecorder &rec) {
+        const std::size_t t = ctx.index;
+        BenchRig rig(skylakeSp(4), benchProfile(env), ctx.seed,
+                     msToCycles(100.0));
+        const unsigned w = rig.machine.config().sf.ways;
+        const Addr target = rig.pool->at(5 + t, 44);
+        auto evset = groundTruthEvictionSet(rig.machine, *rig.pool,
+                                            target, w);
+        auto monitor = PrimeProbeMonitor::make(MonitorKind::Parallel,
+                                               *rig.session, evset);
+        // Collect until enough detections or a time cap.
+        const Cycles start = rig.machine.now();
+        const Cycles cap = start + msToCycles(env == 0 ? 400.0 : 40.0);
+        auto detections = monitor->collectTrace(cap);
+        while (detections.size() > accesses_per_trial)
+            detections.pop_back();
+        for (std::size_t i = 1; i < detections.size(); ++i) {
+            rec.metric("gap_us",
+                       cyclesToUs(detections[i] - detections[i - 1]));
         }
-    }
-    const double rate = total_ms > 0.0 ? total_accesses / total_ms
-                                       : 0.0;
-    state.counters["accesses_per_ms_per_set"] = rate;
-    state.counters["median_gap_us"] =
-        gaps_us.empty() ? 0.0 : gaps_us.median();
+        rec.metric("accesses",
+                   static_cast<double>(detections.size()));
+        rec.metric("elapsed_ms", cyclesToMs(rig.machine.now() - start));
+    });
+
+    const SampleStats *gaps = result.metric("gap_us");
+    const SampleStats *accesses = result.metric("accesses");
+    const SampleStats *elapsed = result.metric("elapsed_ms");
+    const double total_accesses =
+        accesses ? accesses->mean() *
+                       static_cast<double>(accesses->count())
+                 : 0.0;
+    const double total_ms =
+        elapsed ? elapsed->mean() * static_cast<double>(elapsed->count())
+                : 0.0;
+    const double rate = total_ms > 0.0 ? total_accesses / total_ms : 0.0;
 
     std::printf("  %-12s background rate %.2f accesses/ms/set\n",
                 benchProfileName(env), rate);
-    if (!gaps_us.empty()) {
-        EmpiricalCdf cdf(gaps_us.samples());
+    if (gaps && !gaps->empty()) {
+        EmpiricalCdf cdf(gaps->samples());
         std::printf("  CDF of inter-access time (us -> P):\n");
         for (double x : {10.0, 25.0, 50.0, 100.0, 150.0, 200.0, 300.0,
                          500.0, 1000.0, 3000.0}) {
             std::printf("    %7.0f us  %.3f\n", x, cdf.at(x));
         }
     }
+    suite.add(std::move(result));
 }
 
-BENCHMARK(BM_Fig2)
-    ->DenseRange(0, 1)
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
+int
+benchMain()
+{
+    ExperimentSuite suite("fig2");
+    std::printf("Figure 2 (harness: %u threads, seed %llu)\n",
+                resolveThreadCount(),
+                static_cast<unsigned long long>(baseSeed()));
+    for (int env = 0; env < 2; ++env)
+        runEnvironment(suite, env);
+
+    const std::string path = suite.writeFile();
+    if (path.empty()) {
+        std::fprintf(stderr, "failed to write JSON output\n");
+        return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
 
 } // namespace
 } // namespace llcf
 
-BENCHMARK_MAIN();
+int
+main()
+{
+    return llcf::benchMain();
+}

@@ -13,6 +13,10 @@
 
 #include "bench_common.hh"
 
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
 namespace llcf {
 namespace {
 

@@ -14,6 +14,8 @@
 #include "attack/covert.hh"
 #include "bench_common.hh"
 
+#include <benchmark/benchmark.h>
+
 namespace llcf {
 namespace {
 

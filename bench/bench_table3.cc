@@ -12,6 +12,8 @@
 
 #include "bench_common.hh"
 
+#include <benchmark/benchmark.h>
+
 namespace llcf {
 namespace {
 

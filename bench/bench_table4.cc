@@ -13,9 +13,18 @@
  * U=256 instead of 896) absolute times shrink ~3.5x; the algorithm
  * ordering and success rates are the reproduction target.  WholeSys
  * is sampled over a subset of page offsets and extrapolated.
+ *
+ * Runs on the harness: trials of each cell fan out across
+ * LLCF_THREADS workers, each on its own RNG stream, and the aggregate
+ * table plus BENCH_table4.json is identical for any thread count.
  */
 
 #include "bench_common.hh"
+
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/thread_pool.hh"
 
 namespace llcf {
 namespace {
@@ -29,133 +38,164 @@ algoLabel(int idx)
     return idx == 2 ? "PsBst" : pruneAlgoName(kAlgos[idx]);
 }
 
-void
-BM_Table4_SingleSet(benchmark::State &state)
+std::string
+cellName(const char *scenario, int algo_idx, int env)
 {
-    const PruneAlgo algo = kAlgos[state.range(0)];
-    const int env = static_cast<int>(state.range(1));
-    const std::size_t trials = trialCount(8);
+    std::string name = scenario;
+    name += ' ';
+    name += algoLabel(algo_idx);
+    name += " @ ";
+    name += benchProfileName(env);
+    return name;
+}
 
-    SuccessRate sr;
-    SampleStats times;
-    for (auto _ : state) {
-        for (std::size_t t = 0; t < trials; ++t) {
-            BenchRig rig(benchSkylake(), benchProfile(env),
-                         baseSeed() + t * 137, msToCycles(100.0));
-            auto cands = rig.pool->candidatesAt(
-                static_cast<unsigned>((3 * t) % kLinesPerPage));
-            const Addr ta = cands[t % cands.size()];
-            cands.erase(cands.begin() +
-                        static_cast<long>(t % cands.size()));
-            EvictionSetBuilder builder(*rig.session, algo, true);
-            auto out = builder.buildForTarget(ta, cands);
-            sr.add(out.success && out.groundTruthValid);
-            times.add(static_cast<double>(out.elapsed));
-        }
-    }
-    state.counters["succ_rate_pct"] = sr.rate() * 100.0;
-    state.counters["avg_ms"] = cyclesToMs(
-        static_cast<Cycles>(times.mean()));
-    state.counters["med_ms"] = cyclesToMs(
-        static_cast<Cycles>(times.median()));
+/** Run one table cell and fold it into the suite + stdout table. */
+const ExperimentResult &
+runCell(ExperimentSuite &suite, const ExperimentConfig &cfg,
+        const ExperimentRunner::TrialFn &fn)
+{
+    ExperimentRunner runner(cfg);
+    ExperimentResult result = runner.run(fn);
 
-    char label[64];
-    std::snprintf(label, sizeof(label), "SingleSet %s @ %s",
-                  algoLabel(static_cast<int>(state.range(0))),
-                  benchProfileName(env));
-    printRow(label, sr, times);
+    static const SuccessRate kNoRate;
+    static const SampleStats kNoStats;
+    const SuccessRate *sr = result.outcome("success");
+    const SampleStats *times = result.metric("time_cycles");
+    printRow(result.name().c_str(), sr ? *sr : kNoRate,
+             times ? *times : kNoStats);
+    suite.add(std::move(result));
+    return suite.results().back();
 }
 
 void
-BM_Table4_PageOffset(benchmark::State &state)
+runSingleSet(ExperimentSuite &suite, int algo_idx, int env)
 {
-    const PruneAlgo algo = kAlgos[state.range(0)];
-    const int env = static_cast<int>(state.range(1));
-    const std::size_t trials = trialCount(2);
+    const PruneAlgo algo = kAlgos[algo_idx];
+    ExperimentConfig cfg;
+    cfg.name = cellName("SingleSet", algo_idx, env);
+    cfg.trials = trialCount(8);
+    cfg.masterSeed = baseSeed();
 
-    SuccessRate sr;
-    SampleStats times;
-    for (auto _ : state) {
-        for (std::size_t t = 0; t < trials; ++t) {
-            BenchRig rig(benchSkylake(), benchProfile(env),
-                         baseSeed() + t * 139, msToCycles(100.0));
-            EvictionSetBuilder builder(*rig.session, algo, true);
-            auto out = builder.buildAtLineIndex(
-                *rig.pool, static_cast<unsigned>((7 * t + 1) %
-                                                 kLinesPerPage));
-            for (unsigned i = 0; i < out.expectedSets; ++i)
-                sr.add(i < out.validSets);
-            times.add(static_cast<double>(out.elapsed));
-        }
-    }
-    state.counters["succ_rate_pct"] = sr.rate() * 100.0;
-    state.counters["avg_s"] = cyclesToSec(
-        static_cast<Cycles>(times.mean()));
-
-    char label[64];
-    std::snprintf(label, sizeof(label), "PageOffset %s @ %s",
-                  algoLabel(static_cast<int>(state.range(0))),
-                  benchProfileName(env));
-    printRow(label, sr, times);
+    runCell(suite, cfg, [algo, env](TrialContext &ctx, TrialRecorder &rec) {
+        const std::size_t t = ctx.index;
+        BenchRig rig(benchSkylake(), benchProfile(env), ctx.seed,
+                     msToCycles(100.0));
+        auto cands = rig.pool->candidatesAt(
+            static_cast<unsigned>((3 * t) % kLinesPerPage));
+        const Addr ta = cands[t % cands.size()];
+        cands.erase(cands.begin() + static_cast<long>(t % cands.size()));
+        EvictionSetBuilder builder(*rig.session, algo, true);
+        auto out = builder.buildForTarget(ta, cands);
+        rec.outcome("success", out.success && out.groundTruthValid);
+        rec.metric("time_cycles", static_cast<double>(out.elapsed));
+        rec.metric("time_ms", cyclesToMs(out.elapsed));
+    });
 }
 
 void
-BM_Table4_WholeSys(benchmark::State &state)
+runPageOffset(ExperimentSuite &suite, int algo_idx, int env)
 {
-    const PruneAlgo algo = kAlgos[state.range(0)];
-    const int env = static_cast<int>(state.range(1));
+    const PruneAlgo algo = kAlgos[algo_idx];
+    ExperimentConfig cfg;
+    cfg.name = cellName("PageOffset", algo_idx, env);
+    cfg.trials = trialCount(2);
+    cfg.masterSeed = baseSeed();
+
+    runCell(suite, cfg, [algo, env](TrialContext &ctx, TrialRecorder &rec) {
+        const std::size_t t = ctx.index;
+        BenchRig rig(benchSkylake(), benchProfile(env), ctx.seed,
+                     msToCycles(100.0));
+        EvictionSetBuilder builder(*rig.session, algo, true);
+        auto out = builder.buildAtLineIndex(
+            *rig.pool,
+            static_cast<unsigned>((7 * t + 1) % kLinesPerPage));
+        for (unsigned i = 0; i < out.expectedSets; ++i)
+            rec.outcome("success", i < out.validSets);
+        rec.metric("time_cycles", static_cast<double>(out.elapsed));
+        rec.metric("time_s", cyclesToSec(out.elapsed));
+    });
+}
+
+void
+runWholeSys(ExperimentSuite &suite, int algo_idx, int env)
+{
+    const PruneAlgo algo = kAlgos[algo_idx];
     // Sampled WholeSys: a subset of line indices, extrapolated to 64.
-    const unsigned sample = fullScale() ? kLinesPerPage
-                                        : static_cast<unsigned>(
-                                              envU64("LLCF_WS_OFFSETS",
-                                                     4));
+    const unsigned sample = fullScale()
+                                ? kLinesPerPage
+                                : static_cast<unsigned>(
+                                      envU64("LLCF_WS_OFFSETS", 4));
     std::vector<unsigned> line_indices;
     for (unsigned i = 0; i < sample; ++i)
         line_indices.push_back(i * (kLinesPerPage / sample));
 
-    SuccessRate sr;
-    SampleStats times;
-    double extrapolated_s = 0.0;
-    for (auto _ : state) {
-        BenchRig rig(benchSkylake(), benchProfile(env), baseSeed(),
+    char scenario[32];
+    std::snprintf(scenario, sizeof(scenario), "WholeSys(%u/64 off)",
+                  sample);
+    ExperimentConfig cfg;
+    cfg.name = cellName(scenario, algo_idx, env);
+    cfg.trials = trialCount(1);
+    cfg.masterSeed = baseSeed();
+
+    const ExperimentResult &result = runCell(
+        suite, cfg,
+        [algo, env, sample, &line_indices](TrialContext &ctx,
+                                           TrialRecorder &rec) {
+        BenchRig rig(benchSkylake(), benchProfile(env), ctx.seed,
                      msToCycles(100.0));
         EvictionSetBuilder builder(*rig.session, algo, true);
         auto out = builder.buildWholeSystem(*rig.pool, line_indices);
         for (unsigned i = 0; i < out.expectedSets; ++i)
-            sr.add(i < out.validSets);
-        times.add(static_cast<double>(out.elapsed));
-        extrapolated_s = cyclesToSec(out.elapsed) *
-                         (static_cast<double>(kLinesPerPage) / sample);
-    }
-    state.counters["succ_rate_pct"] = sr.rate() * 100.0;
-    state.counters["sampled_s"] = cyclesToSec(
-        static_cast<Cycles>(times.mean()));
-    state.counters["extrapolated_full_s"] = extrapolated_s;
-
-    char label[64];
-    std::snprintf(label, sizeof(label),
-                  "WholeSys(%u/64 off) %s @ %s", sample,
-                  algoLabel(static_cast<int>(state.range(0))),
-                  benchProfileName(env));
-    printRow(label, sr, times);
-    std::printf("  %-28s extrapolated full-system time: %.1f s\n",
-                "", extrapolated_s);
+            rec.outcome("success", i < out.validSets);
+        rec.metric("time_cycles", static_cast<double>(out.elapsed));
+        rec.metric("sampled_s", cyclesToSec(out.elapsed));
+        rec.metric("extrapolated_full_s",
+                   cyclesToSec(out.elapsed) *
+                       (static_cast<double>(kLinesPerPage) / sample));
+    });
+    const SampleStats *extrapolated = result.metric("extrapolated_full_s");
+    std::printf("  %-28s extrapolated full-system time: %.1f s\n", "",
+                extrapolated ? extrapolated->mean() : 0.0);
 }
 
-BENCHMARK(BM_Table4_SingleSet)
-    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Table4_PageOffset)
-    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
-BENCHMARK(BM_Table4_WholeSys)
-    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
+int
+benchMain()
+{
+    ExperimentSuite suite("table4");
+    std::printf("Table 4 (harness: %u threads, seed %llu)\n",
+                resolveThreadCount(),
+                static_cast<unsigned long long>(baseSeed()));
+
+    std::printf("-- SingleSet --\n");
+    for (int env = 0; env < 2; ++env) {
+        for (int a = 0; a < 4; ++a)
+            runSingleSet(suite, a, env);
+    }
+    std::printf("-- PageOffset --\n");
+    for (int env = 0; env < 2; ++env) {
+        for (int a = 0; a < 4; ++a)
+            runPageOffset(suite, a, env);
+    }
+    std::printf("-- WholeSys --\n");
+    for (int env = 0; env < 2; ++env) {
+        for (int a = 0; a < 4; ++a)
+            runWholeSys(suite, a, env);
+    }
+
+    const std::string path = suite.writeFile();
+    if (path.empty()) {
+        std::fprintf(stderr, "failed to write JSON output\n");
+        return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
 
 } // namespace
 } // namespace llcf
 
-BENCHMARK_MAIN();
+int
+main()
+{
+    return llcf::benchMain();
+}

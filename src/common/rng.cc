@@ -19,6 +19,15 @@ mix64(std::uint64_t v)
     return splitmix64(v);
 }
 
+std::uint64_t
+streamSeed(std::uint64_t master, std::uint64_t stream)
+{
+    // Double mixing keeps adjacent stream indices from producing
+    // correlated xoshiro seed blocks even for small masters.
+    return mix64(mix64(master ^ 0x6c62272e07bb0142ULL) +
+                 stream * 0x9e3779b97f4a7c15ULL);
+}
+
 namespace {
 
 inline std::uint64_t
@@ -142,6 +151,12 @@ Rng::nextPoisson(double lambda)
     if (v < 0.0)
         v = 0.0;
     return static_cast<std::uint64_t>(v + 0.5);
+}
+
+Rng
+Rng::forStream(std::uint64_t master, std::uint64_t stream)
+{
+    return Rng(streamSeed(master, stream));
 }
 
 Rng

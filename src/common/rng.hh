@@ -24,6 +24,16 @@ std::uint64_t splitmix64(std::uint64_t &state);
 std::uint64_t mix64(std::uint64_t v);
 
 /**
+ * Seed of the @p stream-th independent child stream of @p master.
+ *
+ * Derivation is purely positional (no shared mutable state), so any
+ * worker can seed stream i without having generated streams 0..i-1 —
+ * the property the parallel experiment harness relies on for
+ * schedule-independent reproducibility.
+ */
+std::uint64_t streamSeed(std::uint64_t master, std::uint64_t stream);
+
+/**
  * xoshiro256** pseudo-random generator with distribution helpers.
  *
  * Not thread-safe; give each simulated actor its own instance (forked
@@ -34,6 +44,9 @@ class Rng
   public:
     /** Construct from a 64-bit seed via SplitMix64 expansion. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Generator over the @p stream-th child stream of @p master. */
+    static Rng forStream(std::uint64_t master, std::uint64_t stream);
 
     /** Next raw 64-bit value. */
     std::uint64_t next();

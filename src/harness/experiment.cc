@@ -1,0 +1,175 @@
+#include "experiment.hh"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/options.hh"
+#include "harness/thread_pool.hh"
+
+namespace llcf {
+
+void
+TrialRecorder::metric(std::string_view name, double v)
+{
+    metrics_.emplace_back(std::string(name), v);
+}
+
+void
+TrialRecorder::outcome(std::string_view name, bool success)
+{
+    outcomes_.emplace_back(std::string(name), success);
+}
+
+const SampleStats *
+ExperimentResult::metric(std::string_view name) const
+{
+    for (const auto &[n, stats] : metrics_) {
+        if (n == name)
+            return &stats;
+    }
+    return nullptr;
+}
+
+const SuccessRate *
+ExperimentResult::outcome(std::string_view name) const
+{
+    for (const auto &[n, sr] : outcomes_) {
+        if (n == name)
+            return &sr;
+    }
+    return nullptr;
+}
+
+void
+ExperimentResult::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.member("name", name_);
+    w.member("trials", static_cast<std::uint64_t>(trials_));
+    w.member("seed", masterSeed_);
+    w.key("metrics").beginObject();
+    for (const auto &[name, stats] : metrics_) {
+        w.key(name).beginObject();
+        w.member("count", static_cast<std::uint64_t>(stats.count()));
+        w.member("mean", stats.mean());
+        w.member("stddev", stats.stddev());
+        if (!stats.empty()) {
+            w.member("min", stats.min());
+            w.member("median", stats.median());
+            w.member("max", stats.max());
+        }
+        w.endObject();
+    }
+    w.endObject();
+    w.key("outcomes").beginObject();
+    for (const auto &[name, sr] : outcomes_) {
+        w.key(name).beginObject();
+        w.member("trials", static_cast<std::uint64_t>(sr.trials()));
+        w.member("successes", static_cast<std::uint64_t>(sr.successes()));
+        w.member("rate", sr.rate());
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig cfg)
+    : cfg_(std::move(cfg))
+{
+}
+
+ExperimentResult
+ExperimentRunner::run(const TrialFn &fn) const
+{
+    const unsigned threads = resolveThreadCount(cfg_.threads);
+
+    // One slot per trial; workers never touch shared aggregates.
+    std::vector<TrialRecorder> slots(cfg_.trials);
+
+    ThreadPool pool(threads);
+    pool.parallelFor(cfg_.trials, [&](std::size_t i) {
+        TrialContext ctx{i, streamSeed(cfg_.masterSeed, i),
+                         Rng::forStream(cfg_.masterSeed, i)};
+        fn(ctx, slots[i]);
+    });
+
+    ExperimentResult result;
+    result.name_ = cfg_.name;
+    result.trials_ = cfg_.trials;
+    result.threadsUsed_ = threads;
+    result.masterSeed_ = cfg_.masterSeed;
+
+    // Merge in trial order: aggregate content and key order are then
+    // functions of (seed, trials) alone, independent of scheduling.
+    auto statsFor = [&result](const std::string &name) -> SampleStats & {
+        for (auto &[n, stats] : result.metrics_) {
+            if (n == name)
+                return stats;
+        }
+        result.metrics_.emplace_back(name, SampleStats{});
+        return result.metrics_.back().second;
+    };
+    auto rateFor = [&result](const std::string &name) -> SuccessRate & {
+        for (auto &[n, sr] : result.outcomes_) {
+            if (n == name)
+                return sr;
+        }
+        result.outcomes_.emplace_back(name, SuccessRate{});
+        return result.outcomes_.back().second;
+    };
+    for (const auto &slot : slots) {
+        for (const auto &[name, v] : slot.metrics_)
+            statsFor(name).add(v);
+        for (const auto &[name, ok] : slot.outcomes_)
+            rateFor(name).add(ok);
+    }
+    return result;
+}
+
+ExperimentSuite::ExperimentSuite(std::string bench)
+    : bench_(std::move(bench))
+{
+}
+
+void
+ExperimentSuite::add(ExperimentResult result)
+{
+    results_.push_back(std::move(result));
+}
+
+std::string
+ExperimentSuite::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("context").beginObject();
+    w.member("bench", bench_);
+    w.member("base_seed", baseSeed());
+    w.member("full_scale", fullScale());
+    w.endObject();
+    w.key("benchmarks").beginArray();
+    for (const auto &r : results_)
+        r.writeJson(w);
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+ExperimentSuite::writeFile(const std::string &path) const
+{
+    std::string target = path;
+    if (target.empty())
+        target = envString("LLCF_JSON_OUT", "BENCH_" + bench_ + ".json");
+    std::FILE *f = std::fopen(target.c_str(), "w");
+    if (!f)
+        return "";
+    const std::string doc = toJson();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) ==
+                        doc.size() &&
+                    std::fputc('\n', f) != EOF;
+    std::fclose(f);
+    return ok ? target : "";
+}
+
+} // namespace llcf

@@ -1,0 +1,219 @@
+#include "json.hh"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace llcf {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    // Integers in the exactly-representable range print without an
+    // exponent ("100", not "1e+02").
+    if (v == std::floor(v) && std::fabs(v) < 9007199254740992.0) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    // Try successively longer forms until one round-trips exactly;
+    // this keeps common values short (0.5, 100) yet never loses bits.
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == v)
+            break;
+    }
+    return buf;
+}
+
+JsonWriter::JsonWriter() = default;
+
+void
+JsonWriter::indent()
+{
+    out_ += '\n';
+    out_.append(stack_.size() * 2, ' ');
+}
+
+void
+JsonWriter::prepareValue()
+{
+    if (stack_.empty()) {
+        if (!out_.empty())
+            panic("JsonWriter: multiple top-level values");
+        return;
+    }
+    if (stack_.back() == Frame::Object) {
+        if (!keyPending_)
+            panic("JsonWriter: object member written without a key");
+        keyPending_ = false;
+        return; // key() already placed comma and indent
+    }
+    if (hasElems_.back())
+        out_ += ',';
+    hasElems_.back() = true;
+    indent();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prepareValue();
+    out_ += '{';
+    stack_.push_back(Frame::Object);
+    hasElems_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != Frame::Object || keyPending_)
+        panic("JsonWriter: mismatched endObject");
+    bool had = hasElems_.back();
+    stack_.pop_back();
+    hasElems_.pop_back();
+    if (had)
+        indent();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prepareValue();
+    out_ += '[';
+    stack_.push_back(Frame::Array);
+    hasElems_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != Frame::Array)
+        panic("JsonWriter: mismatched endArray");
+    bool had = hasElems_.back();
+    stack_.pop_back();
+    hasElems_.pop_back();
+    if (had)
+        indent();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    if (stack_.empty() || stack_.back() != Frame::Object || keyPending_)
+        panic("JsonWriter: key outside an object");
+    if (hasElems_.back())
+        out_ += ',';
+    hasElems_.back() = true;
+    indent();
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\": ";
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    prepareValue();
+    out_ += jsonNumber(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    prepareValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    prepareValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    prepareValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    prepareValue();
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    if (!stack_.empty())
+        panic("JsonWriter: document has unclosed containers");
+    return out_;
+}
+
+} // namespace llcf

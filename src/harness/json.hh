@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for machine-readable experiment
+ * output (the BENCH_*.json files).
+ *
+ * The writer emits members in exactly the order they are written and
+ * formats numbers deterministically, so two runs that record the same
+ * aggregates produce byte-identical files — the property the harness
+ * determinism tests assert across thread counts.
+ */
+
+#ifndef LLCF_HARNESS_JSON_HH
+#define LLCF_HARNESS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llcf {
+
+/**
+ * Append-only JSON document builder.
+ *
+ * Usage: beginObject()/key()/value() calls mirroring the document
+ * structure; commas and indentation are inserted automatically.
+ * Structural misuse (e.g. a value without a key inside an object)
+ * trips a panic — documents are built by trusted experiment code.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter();
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Member key; must be inside an object. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    member(std::string_view k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** Finished document. @pre all containers closed */
+    const std::string &str() const;
+
+  private:
+    enum class Frame { Object, Array };
+
+    /** Comma/newline/indent before the next element as needed. */
+    void prepareValue();
+
+    void indent();
+
+    std::string out_;
+    std::vector<Frame> stack_;
+    std::vector<bool> hasElems_; //!< parallel to stack_
+    bool keyPending_ = false;
+};
+
+/** JSON string escaping (control chars, quote, backslash). */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Format a double the way the harness stores it: shortest form that
+ * round-trips ("%.17g" collapsed when fewer digits suffice), with
+ * non-finite values mapped to null per JSON rules.
+ */
+std::string jsonNumber(double v);
+
+} // namespace llcf
+
+#endif // LLCF_HARNESS_JSON_HH

@@ -28,13 +28,21 @@ silent()
     return p;
 }
 
+AttackerConfig
+attackerConfig(std::uint64_t seed)
+{
+    AttackerConfig cfg;
+    cfg.seed = seed;
+    return cfg;
+}
+
 struct AttackRig
 {
     explicit AttackRig(std::uint64_t seed,
                        NoiseProfile profile = silent(),
                        MachineConfig cfg = tinyTest())
         : machine(cfg, profile, seed),
-          session(machine, AttackerConfig{0, 1, seed}),
+          session(machine, attackerConfig(seed)),
           pool(session, CandidatePool::requiredPages(machine, 3.0))
     {
     }

@@ -53,8 +53,9 @@ TEST(Geometry, L2IndexBitsAreSubsetOfLlcIndexBits)
     for (int i = 0; i < 2000; ++i) {
         Addr a = lineAlign(rng.next() & ((1ull << 40) - 1));
         Addr b = lineAlign(rng.next() & ((1ull << 40) - 1));
-        if (llc.setIndex(a) == llc.setIndex(b))
+        if (llc.setIndex(a) == llc.setIndex(b)) {
             EXPECT_EQ(l2.setIndex(a), l2.setIndex(b));
+        }
     }
 }
 

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Golden-value tests for the crypto primitives: SHA-256 against NIST
+ * CAVS / FIPS 180-4 byte-oriented vectors beyond the ones in
+ * test_crypto.cc, and BigUint multiply/divide/mod round-trip
+ * identities on random multi-limb operands.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "crypto/biguint.hh"
+#include "crypto/sha256.hh"
+
+namespace llcf {
+namespace {
+
+// ------------------------------------------------------------- SHA-256
+
+TEST(Sha256Golden, SingleBlockAsciiVectors)
+{
+    EXPECT_EQ(digestToHex(sha256(std::string("a"))),
+              "ca978112ca1bbdcafac231b39a23dc4da786eff8147c4e72b9807785"
+              "afee48bb");
+    EXPECT_EQ(digestToHex(sha256(std::string("message digest"))),
+              "f7846f55cf23e14eebeab5b4e1550cad5b509e3348fbc4efa3a1413d"
+              "393cb650");
+    EXPECT_EQ(digestToHex(sha256(
+                  std::string("abcdefghijklmnopqrstuvwxyz"))),
+              "71c480df93d6ae2f1efad1447c66c9525e316218cf51fc8d9ed832f2"
+              "daf18b73");
+    EXPECT_EQ(digestToHex(sha256(std::string(
+                  "The quick brown fox jumps over the lazy dog"))),
+              "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf"
+              "37c9e592");
+}
+
+TEST(Sha256Golden, FipsTwoBlock896Bit)
+{
+    // FIPS 180-4 "long" vector: 112 bytes, forcing two blocks of
+    // message before the padding block.
+    EXPECT_EQ(digestToHex(sha256(std::string(
+                  "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijkl"
+                  "mnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopq"
+                  "rstu"))),
+              "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac4503"
+              "7afee9d1");
+}
+
+TEST(Sha256Golden, CavsByteOrientedShortMessages)
+{
+    // NIST CAVS SHA256ShortMsg.rsp entries (binary, non-ASCII).
+    const std::vector<std::uint8_t> one_byte{0xd3};
+    EXPECT_EQ(digestToHex(sha256(one_byte)),
+              "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2"
+              "ba9802c1");
+
+    const std::vector<std::uint8_t> two_bytes{0x11, 0xaf};
+    EXPECT_EQ(digestToHex(sha256(two_bytes)),
+              "5ca7133fa735326081558ac312c620eeca9970d1e70a4b95533d956f"
+              "072d1f98");
+
+    const std::vector<std::uint8_t> four_bytes{0x74, 0xba, 0x25, 0x21};
+    EXPECT_EQ(digestToHex(sha256(four_bytes)),
+              "b16aa56be3880d18cd41e68384cf1ec8c17680c45a02b1575dc15189"
+              "23ae8b0e");
+}
+
+TEST(Sha256Golden, PointerOverloadMatchesContainers)
+{
+    const std::string msg = "message digest";
+    const auto from_string = sha256(msg);
+    const auto from_ptr = sha256(
+        reinterpret_cast<const std::uint8_t *>(msg.data()), msg.size());
+    EXPECT_EQ(from_string, from_ptr);
+}
+
+// ------------------------------------------------------------- BigUint
+
+/** Random value of roughly @p limbs 64-bit limbs. */
+BigUint
+randomWide(Rng &rng, std::size_t limbs)
+{
+    std::vector<std::uint64_t> words(limbs);
+    for (auto &w : words)
+        w = rng.next();
+    return BigUint::fromLimbs(std::move(words));
+}
+
+TEST(BigUintRoundTrip, MulDivModReconstructs)
+{
+    Rng rng(2024);
+    for (int iter = 0; iter < 50; ++iter) {
+        const BigUint a = randomWide(rng, 1 + iter % 9);
+        BigUint b = randomWide(rng, 1 + (iter / 3) % 9);
+        if (b.isZero())
+            b = BigUint(1);
+        const BigUint prod = a * b;
+        // Exact product: division and remainder must round-trip.
+        EXPECT_EQ(prod / b, a);
+        EXPECT_TRUE((prod % b).isZero());
+        auto [q, r] = BigUint::divmod(prod + b - BigUint(1), b);
+        EXPECT_EQ(q * b + r, prod + b - BigUint(1));
+        EXPECT_TRUE(r < b);
+    }
+}
+
+TEST(BigUintRoundTrip, MulModMatchesWideningMultiply)
+{
+    Rng rng(77);
+    for (int iter = 0; iter < 50; ++iter) {
+        const BigUint a = randomWide(rng, 1 + iter % 9);
+        const BigUint b = randomWide(rng, 1 + (iter / 5) % 9);
+        BigUint m = randomWide(rng, 1 + iter % 5);
+        if (m.isZero() || m.isOne())
+            m = BigUint(97);
+        EXPECT_EQ(BigUint::mulMod(a, b, m), (a * b) % m);
+        EXPECT_EQ(BigUint::addMod(a % m, b % m, m), (a + b) % m);
+        // subMod wraps into [0, m).
+        const BigUint am = a % m, bm = b % m;
+        const BigUint diff = BigUint::subMod(am, bm, m);
+        EXPECT_TRUE(diff < m);
+        EXPECT_EQ(BigUint::addMod(diff, bm, m), am);
+    }
+}
+
+TEST(BigUintRoundTrip, MulModAgainstMersennePrimeInverse)
+{
+    // p = 2^127 - 1 (prime), so every non-zero residue is invertible.
+    const BigUint p =
+        BigUint::fromHex("7fffffffffffffffffffffffffffffff");
+    Rng rng(5);
+    for (int iter = 0; iter < 20; ++iter) {
+        BigUint a = randomWide(rng, 4) % p;
+        if (a.isZero())
+            a = BigUint(3);
+        const BigUint inv = a.invMod(p);
+        EXPECT_TRUE(BigUint::mulMod(a, inv, p).isOne());
+    }
+}
+
+TEST(BigUintRoundTrip, HexAndShiftRoundTrips)
+{
+    Rng rng(31337);
+    for (int iter = 0; iter < 30; ++iter) {
+        const BigUint a = randomWide(rng, 1 + iter % 10);
+        EXPECT_EQ(BigUint::fromHex(a.toHex()), a);
+        const unsigned k = static_cast<unsigned>(rng.nextBelow(200));
+        EXPECT_EQ((a << k) >> k, a);
+    }
+}
+
+} // namespace
+} // namespace llcf
