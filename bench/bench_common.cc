@@ -1,0 +1,97 @@
+#include "bench_common.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "harness/thread_pool.hh"
+
+namespace llcf {
+namespace {
+
+[[noreturn]] void
+printUsageAndExit(const char *prog, int code)
+{
+    std::FILE *out = code == 0 ? stdout : stderr;
+    std::fprintf(out,
+                 "usage: %s [--seed=N] [--trials=N] [--threads=N]\n"
+                 "          [--json-out=PATH] [--full-scale] "
+                 "[bench-specific flags]\n",
+                 prog);
+    std::exit(code);
+}
+
+/** "--flag=value" -> setenv(env, value); true if consumed. */
+bool
+consumeEnvFlag(const std::string &arg, const char *flag,
+               const char *env, const char *prog)
+{
+    const std::size_t n = std::strlen(flag);
+    if (arg.compare(0, n, flag) != 0)
+        return false;
+    if (arg.size() == n || arg[n] != '=')
+        return false;
+    if (arg.size() == n + 1) {
+        std::fprintf(stderr, "%s: %s needs a value\n", prog, flag);
+        printUsageAndExit(prog, 2);
+    }
+    setenv(env, arg.c_str() + n + 1, 1);
+    return true;
+}
+
+} // namespace
+
+std::vector<std::string>
+benchParseArgs(int argc, char **argv)
+{
+    const char *prog = argc > 0 ? argv[0] : "bench";
+    std::vector<std::string> extra;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            printUsageAndExit(prog, 0);
+        if (arg == "--full-scale") {
+            setenv("LLCF_FULL_SCALE", "1", 1);
+            continue;
+        }
+        if (consumeEnvFlag(arg, "--seed", "LLCF_SEED", prog) ||
+            consumeEnvFlag(arg, "--trials", "LLCF_TRIALS", prog) ||
+            consumeEnvFlag(arg, "--threads", "LLCF_THREADS", prog) ||
+            consumeEnvFlag(arg, "--json-out", "LLCF_JSON_OUT", prog)) {
+            continue;
+        }
+        extra.push_back(arg);
+    }
+    return extra;
+}
+
+bool
+benchRejectExtraArgs(const std::vector<std::string> &extra)
+{
+    if (extra.empty())
+        return true;
+    for (const auto &arg : extra)
+        std::fprintf(stderr, "unrecognised argument: %s\n", arg.c_str());
+    return false;
+}
+
+void
+benchPrintHeader(const char *title)
+{
+    std::printf("%s (harness: %u threads, seed %llu)\n", title,
+                resolveThreadCount(),
+                static_cast<unsigned long long>(baseSeed()));
+}
+
+int
+benchWriteSuite(const ExperimentSuite &suite)
+{
+    const std::string path = suite.writeFile();
+    if (path.empty()) {
+        std::fprintf(stderr, "failed to write JSON output\n");
+        return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
+} // namespace llcf

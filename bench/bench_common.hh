@@ -6,27 +6,53 @@
  * Times reported are *virtual* (simulated cycles at 2 GHz) — the
  * reproduction target is the shape of each result, not wall-clock.
  *
- * Scale knobs (environment):
- *   LLCF_FULL_SCALE=1  use the paper's 28-slice Skylake-SP
- *                      (default: 8 slices, ~3.5x smaller U)
- *   LLCF_TRIALS=<n>    override per-cell trial counts
- *   LLCF_SEED=<n>      base RNG seed (default 42)
- *   LLCF_THREADS=<n>   worker threads for harness-driven benches
- *   LLCF_JSON_OUT=<p>  output path for harness BENCH_*.json files
+ * All benches run on the deterministic experiment harness and accept
+ * the shared CLI flags parsed by benchParseArgs() (which exports them
+ * to the environment so library-level knobs see them too):
+ *
+ *   --seed=<n>       base RNG seed            (LLCF_SEED, default 42)
+ *   --trials=<n>     per-cell trial override  (LLCF_TRIALS)
+ *   --threads=<n>    harness worker threads   (LLCF_THREADS)
+ *   --json-out=<p>   BENCH_*.json output path (LLCF_JSON_OUT)
+ *   --full-scale     paper-scale machines     (LLCF_FULL_SCALE=1)
  */
 
 #ifndef LLCF_BENCH_BENCH_COMMON_HH
 #define LLCF_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/options.hh"
 #include "common/stats.hh"
-#include "evset/builder.hh"
-#include "noise/profile.hh"
+#include "harness/experiment.hh"
+#include "scenario/scenario.hh"
 
 namespace llcf {
+
+/**
+ * Parse the shared bench flags out of argv, exporting recognised ones
+ * into the environment (so envU64/baseSeed/... observe them), and
+ * return the arguments the common parser did not consume.  Prints
+ * usage and exits on --help or a malformed common flag.
+ */
+std::vector<std::string> benchParseArgs(int argc, char **argv);
+
+/**
+ * Report leftover args as an error.  Returns true if @p extra is
+ * empty; otherwise prints the offenders to stderr and returns false.
+ */
+bool benchRejectExtraArgs(const std::vector<std::string> &extra);
+
+/** Print the standard bench header (thread count + seed). */
+void benchPrintHeader(const char *title);
+
+/**
+ * Write @p suite to its BENCH_*.json destination (honouring
+ * LLCF_JSON_OUT) and report the path.  Returns the process exit code.
+ */
+int benchWriteSuite(const ExperimentSuite &suite);
 
 /** Slice count for bench machines (28 at full scale, 8 scaled). */
 inline unsigned
@@ -35,27 +61,21 @@ benchSlices()
     return fullScale() ? 28u : 8u;
 }
 
-/** The Skylake-SP machine config used by most benches. */
-inline MachineConfig
-benchSkylake()
-{
-    return skylakeSp(benchSlices());
-}
-
-/** Environment index -> noise profile, matching the paper's rows. */
-inline NoiseProfile
-benchProfile(int env)
+/** Environment index -> noise-profile name, matching the paper rows. */
+inline const char *
+benchNoiseName(int env)
 {
     switch (env) {
       case 0:
-        return quiescentLocal();
+        return "quiescent-local";
       case 1:
-        return cloudRun();
+        return "cloud-run";
       default:
-        return cloudRunQuietHours();
+        return "cloud-run-3-5am";
     }
 }
 
+/** Environment index -> short display label. */
 inline const char *
 benchProfileName(int env)
 {
@@ -69,25 +89,20 @@ benchProfileName(int env)
     }
 }
 
-/** A fully-wired attacker rig on a fresh machine. */
-struct BenchRig
+/**
+ * Anonymous Skylake-SP scenario spec for one bench environment —
+ * the per-trial worlds benches build via ScenarioRig.
+ */
+inline ScenarioSpec
+benchSpec(int env, unsigned slices, double evset_budget_ms)
 {
-    BenchRig(const MachineConfig &cfg, const NoiseProfile &profile,
-             std::uint64_t seed, Cycles evset_budget)
-        : machine(cfg, profile, seed)
-    {
-        AttackerConfig acfg;
-        acfg.seed = seed;
-        acfg.evsetBudget = evset_budget;
-        session = std::make_unique<AttackSession>(machine, acfg);
-        pool = std::make_unique<CandidatePool>(
-            *session, CandidatePool::requiredPages(machine, 3.0));
-    }
-
-    Machine machine;
-    std::unique_ptr<AttackSession> session;
-    std::unique_ptr<CandidatePool> pool;
-};
+    ScenarioSpec spec;
+    spec.machine = ScenarioMachine::SkylakeSp;
+    spec.slices = slices;
+    spec.noise = benchNoiseName(env);
+    spec.evsetBudgetMs = evset_budget_ms;
+    return spec;
+}
 
 /** Emit one formatted row to stdout (the "paper table" view). */
 inline void

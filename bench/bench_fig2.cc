@@ -37,8 +37,7 @@ runEnvironment(ExperimentSuite &suite, int env)
     ExperimentResult result = runner.run(
         [env, accesses_per_trial](TrialContext &ctx, TrialRecorder &rec) {
         const std::size_t t = ctx.index;
-        BenchRig rig(skylakeSp(4), benchProfile(env), ctx.seed,
-                     msToCycles(100.0));
+        ScenarioRig rig(benchSpec(env, 4, 100.0), ctx.seed);
         const unsigned w = rig.machine.config().sf.ways;
         const Addr target = rig.pool->at(5 + t, 44);
         auto evset = groundTruthEvictionSet(rig.machine, *rig.pool,
@@ -89,26 +88,19 @@ int
 benchMain()
 {
     ExperimentSuite suite("fig2");
-    std::printf("Figure 2 (harness: %u threads, seed %llu)\n",
-                resolveThreadCount(),
-                static_cast<unsigned long long>(baseSeed()));
+    benchPrintHeader("Figure 2");
     for (int env = 0; env < 2; ++env)
         runEnvironment(suite, env);
-
-    const std::string path = suite.writeFile();
-    if (path.empty()) {
-        std::fprintf(stderr, "failed to write JSON output\n");
-        return 1;
-    }
-    std::printf("wrote %s\n", path.c_str());
-    return 0;
+    return benchWriteSuite(suite);
 }
 
 } // namespace
 } // namespace llcf
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!llcf::benchRejectExtraArgs(llcf::benchParseArgs(argc, argv)))
+        return 2;
     return llcf::benchMain();
 }

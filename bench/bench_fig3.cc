@@ -9,11 +9,13 @@
  * below sequential (~4-5 ms at the same size).  Also reproduces the
  * Section 4.3 analysis: expected background accesses during one test
  * and the probability of a noise-free parallel test.
+ *
+ * Runs on the harness: each (implementation, size) cell fans its
+ * trials across LLCF_THREADS workers on independent RNG streams;
+ * BENCH_fig3.json is identical for any thread count.
  */
 
 #include "bench_common.hh"
-
-#include <benchmark/benchmark.h>
 
 #include <cmath>
 
@@ -23,65 +25,90 @@ namespace {
 const unsigned kMultipliers[] = {1, 3, 5, 7, 9, 11};
 
 void
-BM_Fig3(benchmark::State &state)
+runCell(ExperimentSuite &suite, bool parallel, unsigned mult)
 {
-    const bool parallel = state.range(0) == 0;
-    const unsigned mult = kMultipliers[state.range(1)];
-    const std::size_t trials = trialCount(parallel ? 20 : 5);
+    char name[48];
+    std::snprintf(name, sizeof(name), "%s %2uU @ cloud",
+                  parallel ? "parallel" : "sequential", mult);
 
-    BenchRig rig(benchSkylake(), cloudRun(), baseSeed(),
-                 msToCycles(1000.0));
-    const unsigned u = rig.machine.config().sf.uncertainty();
-    const std::size_t n = static_cast<std::size_t>(u) * mult;
-    auto cands = rig.pool->candidatesAt(13);
-    if (cands.size() <= n) {
-        state.SkipWithError("candidate pool smaller than test size");
-        return;
-    }
-    const Addr ta = cands.back();
-    cands.pop_back();
-    cands.resize(n);
+    ExperimentConfig cfg;
+    cfg.name = name;
+    cfg.trials = trialCount(parallel ? 8 : 3);
+    cfg.masterSeed = baseSeed();
 
-    SampleStats duration_us;
-    for (auto _ : state) {
-        for (std::size_t t = 0; t < trials; ++t) {
-            const Cycles start = rig.machine.now();
-            if (parallel) {
-                rig.session->testEvictionLlcParallel(ta, cands, n);
-            } else {
-                // Sequential (pointer-chase) traversal + timed check.
-                Machine &m = rig.machine;
-                m.clflush(0, ta);
-                m.loadShared(0, 1, ta);
-                for (Addr a : cands)
-                    m.chaseLoad(0, a);
-                m.probeLoad(0, ta);
-            }
-            duration_us.add(cyclesToUs(rig.machine.now() - start));
+    ExperimentRunner runner(cfg);
+    ExperimentResult result = runner.run(
+        [parallel, mult](TrialContext &ctx, TrialRecorder &rec) {
+        ScenarioRig rig(benchSpec(/*env=*/1, benchSlices(), 1000.0),
+                        ctx.seed);
+        const unsigned u = rig.machine.config().sf.uncertainty();
+        const std::size_t n = static_cast<std::size_t>(u) * mult;
+        auto cands = rig.pool->candidatesAt(13);
+        if (cands.size() <= n) {
+            std::fprintf(stderr,
+                         "fig3: candidate pool (%zu) smaller than test "
+                         "size %zu; skipping cell\n",
+                         cands.size(), n);
+            return;
         }
+        const Addr ta = cands.back();
+        cands.pop_back();
+        cands.resize(n);
+
+        const Cycles start = rig.machine.now();
+        if (parallel) {
+            rig.session->testEvictionLlcParallel(ta, cands, n);
+        } else {
+            // Sequential (pointer-chase) traversal + timed check.
+            Machine &m = rig.machine;
+            m.clflush(0, ta);
+            m.loadShared(0, 1, ta);
+            for (Addr a : cands)
+                m.chaseLoad(0, a);
+            m.probeLoad(0, ta);
+        }
+        rec.metric("duration_us",
+                   cyclesToUs(rig.machine.now() - start));
+        rec.metric("candidates", static_cast<double>(n));
+    });
+
+    const SampleStats *duration = result.metric("duration_us");
+    const SampleStats *cands = result.metric("candidates");
+    if (duration && !duration->empty()) {
+        // Section 4.3: expected background accesses during one test,
+        // and the resulting probability of a noise-free test.
+        NoiseProfile profile = cloudRun();
+        const double rate_per_us = profile.accessesPerSetPerMs / 1000.0;
+        const double expected_noise = duration->mean() * rate_per_us;
+        std::printf("  %-10s %6.0f cands (%2uU): %9.1f us"
+                    "   E[bg accesses]=%6.2f   P[clean]=%.3f\n",
+                    parallel ? "parallel" : "sequential",
+                    cands ? cands->mean() : 0.0, mult,
+                    duration->mean(), expected_noise,
+                    std::exp(-expected_noise));
     }
-
-    const double rate_per_us =
-        rig.machine.noiseProfile().accessesPerSetPerMs / 1000.0;
-    const double expected_noise = duration_us.mean() * rate_per_us;
-    state.counters["duration_us"] = duration_us.mean();
-    state.counters["candidates"] = static_cast<double>(n);
-    state.counters["expected_bg_accesses"] = expected_noise;
-    state.counters["clean_test_prob"] = std::exp(-expected_noise);
-
-    std::printf("  %-10s %6zu cands (%2uU): %9.1f us"
-                "   E[bg accesses]=%6.2f   P[clean]=%.3f\n",
-                parallel ? "parallel" : "sequential", n, mult,
-                duration_us.mean(), expected_noise,
-                std::exp(-expected_noise));
+    suite.add(std::move(result));
 }
 
-BENCHMARK(BM_Fig3)
-    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4, 5}})
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
+int
+benchMain()
+{
+    ExperimentSuite suite("fig3");
+    benchPrintHeader("Figure 3");
+    for (bool parallel : {true, false}) {
+        for (unsigned mult : kMultipliers)
+            runCell(suite, parallel, mult);
+    }
+    return benchWriteSuite(suite);
+}
 
 } // namespace
 } // namespace llcf
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    if (!llcf::benchRejectExtraArgs(llcf::benchParseArgs(argc, argv)))
+        return 2;
+    return llcf::benchMain();
+}

@@ -9,12 +9,13 @@
  * while PS-Flush and PS-Alt manage 15.4% and 6.0%; even at 100k
  * cycles the ordering stays Parallel > PS-Flush > PS-Alt
  * (91.1% / 82.1% / 36.9%).
+ *
+ * Runs on the harness: per-cell trials fan across LLCF_THREADS
+ * workers; BENCH_fig6.json is identical for any thread count.
  */
 
 #include "attack/covert.hh"
 #include "bench_common.hh"
-
-#include <benchmark/benchmark.h>
 
 namespace llcf {
 namespace {
@@ -25,50 +26,71 @@ const Cycles kIntervals[] = {1000, 2000, 5000, 7000, 10000, 50000,
                              100000};
 
 void
-BM_Fig6(benchmark::State &state)
+runCell(ExperimentSuite &suite, MonitorKind kind, Cycles interval)
 {
-    const MonitorKind kind = kKinds[state.range(0)];
-    const Cycles interval = kIntervals[state.range(1)];
-    const std::size_t trials = trialCount(4);
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s @ %lu cyc",
+                  monitorKindName(kind),
+                  static_cast<unsigned long>(interval));
 
-    SampleStats rates;
-    for (auto _ : state) {
-        for (std::size_t t = 0; t < trials; ++t) {
-            BenchRig rig(skylakeSp(4), cloudRun(),
-                         baseSeed() + t * 151, msToCycles(100.0));
-            const unsigned w = rig.machine.config().sf.ways;
-            const Addr sender = rig.pool->at(23 + t, 31);
-            auto evset = groundTruthEvictionSet(rig.machine, *rig.pool,
-                                                sender, w);
-            std::vector<Addr> alt;
-            if (kind == MonitorKind::PsAlt) {
-                alt = groundTruthEvictionSet(rig.machine, *rig.pool,
-                                             sender, w, w);
-            }
-            CovertParams params;
-            params.accessInterval = interval;
-            params.accesses = static_cast<unsigned>(
-                envU64("LLCF_SENDER_ACCESSES", 400));
-            auto out = runCovertExperiment(*rig.session, kind, evset,
-                                           alt, sender, params);
-            rates.add(out.detectionRate);
+    ExperimentConfig cfg;
+    cfg.name = name;
+    cfg.trials = trialCount(4);
+    cfg.masterSeed = baseSeed();
+
+    ExperimentRunner runner(cfg);
+    ExperimentResult result = runner.run(
+        [kind, interval](TrialContext &ctx, TrialRecorder &rec) {
+        const std::size_t t = ctx.index;
+        ScenarioRig rig(benchSpec(/*env=*/1, 4, 100.0), ctx.seed);
+        const unsigned w = rig.machine.config().sf.ways;
+        const Addr sender = rig.pool->at(23 + t, 31);
+        auto evset = groundTruthEvictionSet(rig.machine, *rig.pool,
+                                            sender, w);
+        std::vector<Addr> alt;
+        if (kind == MonitorKind::PsAlt) {
+            alt = groundTruthEvictionSet(rig.machine, *rig.pool,
+                                         sender, w, w);
         }
+        CovertParams params;
+        params.accessInterval = interval;
+        params.accesses = static_cast<unsigned>(
+            envU64("LLCF_SENDER_ACCESSES", 400));
+        auto out = runCovertExperiment(*rig.session, kind, evset, alt,
+                                       sender, params);
+        rec.metric("detection_rate", out.detectionRate);
+    });
+
+    const SampleStats *rates = result.metric("detection_rate");
+    if (rates && !rates->empty()) {
+        std::printf("  %-10s interval %6lu cyc: detection %5.1f%% "
+                    "(+- %4.1f)\n",
+                    monitorKindName(kind),
+                    static_cast<unsigned long>(interval),
+                    rates->mean() * 100.0, rates->stddev() * 100.0);
     }
-    state.counters["detection_rate_pct"] = rates.mean() * 100.0;
-    state.counters["stddev_pct"] = rates.stddev() * 100.0;
-    std::printf("  %-10s interval %6lu cyc: detection %5.1f%% "
-                "(+- %4.1f)\n",
-                monitorKindName(kind),
-                static_cast<unsigned long>(interval),
-                rates.mean() * 100.0, rates.stddev() * 100.0);
+    suite.add(std::move(result));
 }
 
-BENCHMARK(BM_Fig6)
-    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3, 4, 5, 6}})
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
+int
+benchMain()
+{
+    ExperimentSuite suite("fig6");
+    benchPrintHeader("Figure 6");
+    for (MonitorKind kind : kKinds) {
+        for (Cycles interval : kIntervals)
+            runCell(suite, kind, interval);
+    }
+    return benchWriteSuite(suite);
+}
 
 } // namespace
 } // namespace llcf
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    if (!llcf::benchRejectExtraArgs(llcf::benchParseArgs(argc, argv)))
+        return 2;
+    return llcf::benchMain();
+}

@@ -8,11 +8,14 @@
  * Paper reference (Cloud Run row): Gt 39.4% / 714 ms, GtOp 56.0% /
  * 512 ms, Ps 3.2% / 580 ms, PsOp 6.9% / 572 ms; all ~97-99% and
  * 15-56 ms in the quiescent local environment.
+ *
+ * Each cell is an anonymous EvsetBuild scenario executed through the
+ * scenario runner, so the table shares its trial logic — and its
+ * thread-count-independent determinism — with bench_matrix and the
+ * scenario regression tests.
  */
 
 #include "bench_common.hh"
-
-#include <benchmark/benchmark.h>
 
 namespace llcf {
 namespace {
@@ -21,50 +24,49 @@ const PruneAlgo kAlgos[] = {PruneAlgo::Gt, PruneAlgo::GtOp,
                             PruneAlgo::Ps, PruneAlgo::PsOp};
 
 void
-BM_Table3(benchmark::State &state)
+runCell(ExperimentSuite &suite, PruneAlgo algo, int env)
 {
-    const PruneAlgo algo = kAlgos[state.range(0)];
-    const int env = static_cast<int>(state.range(1));
-    const std::size_t trials = trialCount(env == 0 ? 10 : 6);
+    ScenarioSpec spec = benchSpec(env, benchSlices(), 1000.0);
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s @ %s", pruneAlgoName(algo),
+                  benchProfileName(env));
+    spec.name = name;
+    spec.stage = ScenarioStage::EvsetBuild;
+    spec.algo = algo;
+    spec.useFilter = false; // Table 3 measures the raw pruners
+    spec.defaultTrials = trialCount(env == 0 ? 10 : 6);
 
-    SuccessRate sr;
-    SampleStats times;
-    for (auto _ : state) {
-        for (std::size_t t = 0; t < trials; ++t) {
-            BenchRig rig(benchSkylake(), benchProfile(env),
-                         baseSeed() + t * 131, msToCycles(1000.0));
-            auto cands = rig.pool->candidatesAt(
-                static_cast<unsigned>(t % kLinesPerPage));
-            const Addr ta = cands[t % cands.size()];
-            cands.erase(cands.begin() +
-                        static_cast<long>(t % cands.size()));
-            EvictionSetBuilder builder(*rig.session, algo,
-                                       /*use_filter=*/false);
-            auto out = builder.buildForTarget(ta, cands);
-            sr.add(out.success && out.groundTruthValid);
-            times.add(static_cast<double>(out.elapsed));
-        }
-    }
-    state.counters["succ_rate_pct"] = sr.rate() * 100.0;
-    state.counters["avg_ms"] = cyclesToMs(
-        static_cast<Cycles>(times.mean()));
-    state.counters["med_ms"] = cyclesToMs(
-        static_cast<Cycles>(times.median()));
-    state.counters["std_ms"] = cyclesToMs(
-        static_cast<Cycles>(times.stddev()));
+    ExperimentResult result =
+        runScenario(spec, 0, 0, baseSeed());
 
-    char label[64];
-    std::snprintf(label, sizeof(label), "%s @ %s",
-                  pruneAlgoName(algo), benchProfileName(env));
-    printRow(label, sr, times);
+    static const SuccessRate kNoRate;
+    static const SampleStats kNoStats;
+    const SuccessRate *sr = result.outcome("success");
+    const SampleStats *times = result.metric("build_cycles");
+    printRow(result.name().c_str(), sr ? *sr : kNoRate,
+             times ? *times : kNoStats);
+    suite.add(std::move(result));
 }
 
-BENCHMARK(BM_Table3)
-    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2}})
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
+int
+benchMain()
+{
+    ExperimentSuite suite("table3");
+    benchPrintHeader("Table 3");
+    for (int env = 0; env < 3; ++env) {
+        for (PruneAlgo algo : kAlgos)
+            runCell(suite, algo, env);
+    }
+    return benchWriteSuite(suite);
+}
 
 } // namespace
 } // namespace llcf
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    if (!llcf::benchRejectExtraArgs(llcf::benchParseArgs(argc, argv)))
+        return 2;
+    return llcf::benchMain();
+}

@@ -78,8 +78,8 @@ runSingleSet(ExperimentSuite &suite, int algo_idx, int env)
 
     runCell(suite, cfg, [algo, env](TrialContext &ctx, TrialRecorder &rec) {
         const std::size_t t = ctx.index;
-        BenchRig rig(benchSkylake(), benchProfile(env), ctx.seed,
-                     msToCycles(100.0));
+        ScenarioRig rig(benchSpec(env, benchSlices(), 100.0),
+                        ctx.seed);
         auto cands = rig.pool->candidatesAt(
             static_cast<unsigned>((3 * t) % kLinesPerPage));
         const Addr ta = cands[t % cands.size()];
@@ -103,8 +103,8 @@ runPageOffset(ExperimentSuite &suite, int algo_idx, int env)
 
     runCell(suite, cfg, [algo, env](TrialContext &ctx, TrialRecorder &rec) {
         const std::size_t t = ctx.index;
-        BenchRig rig(benchSkylake(), benchProfile(env), ctx.seed,
-                     msToCycles(100.0));
+        ScenarioRig rig(benchSpec(env, benchSlices(), 100.0),
+                        ctx.seed);
         EvictionSetBuilder builder(*rig.session, algo, true);
         auto out = builder.buildAtLineIndex(
             *rig.pool,
@@ -141,8 +141,8 @@ runWholeSys(ExperimentSuite &suite, int algo_idx, int env)
         suite, cfg,
         [algo, env, sample, &line_indices](TrialContext &ctx,
                                            TrialRecorder &rec) {
-        BenchRig rig(benchSkylake(), benchProfile(env), ctx.seed,
-                     msToCycles(100.0));
+        ScenarioRig rig(benchSpec(env, benchSlices(), 100.0),
+                        ctx.seed);
         EvictionSetBuilder builder(*rig.session, algo, true);
         auto out = builder.buildWholeSystem(*rig.pool, line_indices);
         for (unsigned i = 0; i < out.expectedSets; ++i)
@@ -162,9 +162,7 @@ int
 benchMain()
 {
     ExperimentSuite suite("table4");
-    std::printf("Table 4 (harness: %u threads, seed %llu)\n",
-                resolveThreadCount(),
-                static_cast<unsigned long long>(baseSeed()));
+    benchPrintHeader("Table 4");
 
     std::printf("-- SingleSet --\n");
     for (int env = 0; env < 2; ++env) {
@@ -182,20 +180,16 @@ benchMain()
             runWholeSys(suite, a, env);
     }
 
-    const std::string path = suite.writeFile();
-    if (path.empty()) {
-        std::fprintf(stderr, "failed to write JSON output\n");
-        return 1;
-    }
-    std::printf("wrote %s\n", path.c_str());
-    return 0;
+    return benchWriteSuite(suite);
 }
 
 } // namespace
 } // namespace llcf
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!llcf::benchRejectExtraArgs(llcf::benchParseArgs(argc, argv)))
+        return 2;
     return llcf::benchMain();
 }

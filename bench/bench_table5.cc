@@ -6,12 +6,13 @@
  * Paper reference: PS-Flush prime 6,024 +- 990, PS-Alt prime
  * 2,777 +- 735, Parallel prime 1,121 +- 448 cycles; probe 94 +- 0.7
  * (Prime+Scope) vs 118 +- 0.7 (Parallel) cycles.
+ *
+ * Runs on the harness: per-strategy trials fan across LLCF_THREADS
+ * workers; BENCH_table5.json is identical for any thread count.
  */
 
 #include "attack/covert.hh"
 #include "bench_common.hh"
-
-#include <benchmark/benchmark.h>
 
 namespace llcf {
 namespace {
@@ -20,53 +21,71 @@ const MonitorKind kKinds[] = {MonitorKind::PsFlush, MonitorKind::PsAlt,
                               MonitorKind::Parallel};
 
 void
-BM_Table5(benchmark::State &state)
+runCell(ExperimentSuite &suite, MonitorKind kind)
 {
-    const MonitorKind kind = kKinds[state.range(0)];
-    const std::size_t trials = trialCount(6);
+    char name[48];
+    std::snprintf(name, sizeof(name), "%s @ cloud",
+                  monitorKindName(kind));
 
-    SampleStats prime, probe;
-    SuccessRate detection;
-    for (auto _ : state) {
-        for (std::size_t t = 0; t < trials; ++t) {
-            BenchRig rig(skylakeSp(4), cloudRun(),
-                         baseSeed() + t * 149, msToCycles(100.0));
-            const unsigned w = rig.machine.config().sf.ways;
-            const Addr sender = rig.pool->at(17 + t, 9);
-            auto evset = groundTruthEvictionSet(rig.machine, *rig.pool,
-                                                sender, w);
-            std::vector<Addr> alt;
-            if (kind == MonitorKind::PsAlt) {
-                alt = groundTruthEvictionSet(rig.machine, *rig.pool,
-                                             sender, w, w);
-            }
-            CovertParams params;
-            params.accessInterval = 10000;
-            params.accesses = 300;
-            auto out = runCovertExperiment(*rig.session, kind, evset,
-                                           alt, sender, params);
-            prime.merge(out.primeLatency);
-            probe.merge(out.probeLatency);
-            detection.add(out.detectionRate > 0.5);
+    ExperimentConfig cfg;
+    cfg.name = name;
+    cfg.trials = trialCount(6);
+    cfg.masterSeed = baseSeed();
+
+    ExperimentRunner runner(cfg);
+    ExperimentResult result = runner.run(
+        [kind](TrialContext &ctx, TrialRecorder &rec) {
+        const std::size_t t = ctx.index;
+        ScenarioRig rig(benchSpec(/*env=*/1, 4, 100.0), ctx.seed);
+        const unsigned w = rig.machine.config().sf.ways;
+        const Addr sender = rig.pool->at(17 + t, 9);
+        auto evset = groundTruthEvictionSet(rig.machine, *rig.pool,
+                                            sender, w);
+        std::vector<Addr> alt;
+        if (kind == MonitorKind::PsAlt) {
+            alt = groundTruthEvictionSet(rig.machine, *rig.pool,
+                                         sender, w, w);
         }
-    }
-    state.counters["prime_mean_cyc"] = prime.mean();
-    state.counters["prime_std_cyc"] = prime.stddev();
-    state.counters["probe_mean_cyc"] = probe.mean();
-    state.counters["probe_std_cyc"] = probe.stddev();
+        CovertParams params;
+        params.accessInterval = 10000;
+        params.accesses = 300;
+        auto out = runCovertExperiment(*rig.session, kind, evset, alt,
+                                       sender, params);
+        for (double v : out.primeLatency.samples())
+            rec.metric("prime_cyc", v);
+        for (double v : out.probeLatency.samples())
+            rec.metric("probe_cyc", v);
+        rec.outcome("detected", out.detectionRate > 0.5);
+    });
 
-    std::printf("  %-10s prime %6.0f +- %5.0f cycles   probe %5.0f "
-                "+- %4.1f cycles\n",
-                monitorKindName(kind), prime.mean(), prime.stddev(),
-                probe.mean(), probe.stddev());
+    const SampleStats *prime = result.metric("prime_cyc");
+    const SampleStats *probe = result.metric("probe_cyc");
+    if (prime && probe && !prime->empty() && !probe->empty()) {
+        std::printf("  %-10s prime %6.0f +- %5.0f cycles   probe %5.0f "
+                    "+- %4.1f cycles\n",
+                    monitorKindName(kind), prime->mean(),
+                    prime->stddev(), probe->mean(), probe->stddev());
+    }
+    suite.add(std::move(result));
 }
 
-BENCHMARK(BM_Table5)
-    ->DenseRange(0, 2)
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
+int
+benchMain()
+{
+    ExperimentSuite suite("table5");
+    benchPrintHeader("Table 5");
+    for (MonitorKind kind : kKinds)
+        runCell(suite, kind);
+    return benchWriteSuite(suite);
+}
 
 } // namespace
 } // namespace llcf
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    if (!llcf::benchRejectExtraArgs(llcf::benchParseArgs(argc, argv)))
+        return 2;
+    return llcf::benchMain();
+}

@@ -1,6 +1,7 @@
 #include "replacement.hh"
 
 #include "common/log.hh"
+#include "common/options.hh"
 
 namespace llcf {
 
@@ -18,6 +19,18 @@ replKindName(ReplKind kind)
         return "Random";
     }
     return "?";
+}
+
+bool
+parseReplKind(const std::string &name, ReplKind &out)
+{
+    for (ReplKind kind : kAllReplKinds) {
+        if (equalsIgnoreCase(name, replKindName(kind))) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
 }
 
 // ---------------------------------------------------------------- LRU

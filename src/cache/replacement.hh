@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/rng.hh"
 
@@ -25,6 +26,16 @@ enum class ReplKind { LRU, TreePLRU, SRRIP, Random };
 
 /** Human-readable policy name. */
 const char *replKindName(ReplKind kind);
+
+/**
+ * Parse a policy name as printed by replKindName (case-insensitive).
+ * @return true and fills @p out on a known name.
+ */
+bool parseReplKind(const std::string &name, ReplKind &out);
+
+/** All selectable policy kinds, for ablation sweeps. */
+inline constexpr ReplKind kAllReplKinds[] = {
+    ReplKind::LRU, ReplKind::TreePLRU, ReplKind::SRRIP, ReplKind::Random};
 
 /**
  * Abstract replacement policy.

@@ -1,5 +1,6 @@
 #include "options.hh"
 
+#include <cctype>
 #include <cstdlib>
 
 namespace llcf {
@@ -39,6 +40,20 @@ envString(const char *name, const std::string &def)
     if (!v || !*v)
         return def;
     return v;
+}
+
+bool
+equalsIgnoreCase(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const unsigned char ca = static_cast<unsigned char>(a[i]);
+        const unsigned char cb = static_cast<unsigned char>(b[i]);
+        if (std::tolower(ca) != std::tolower(cb))
+            return false;
+    }
+    return true;
 }
 
 bool

@@ -16,26 +16,53 @@ EvictionSetBuilder::EvictionSetBuilder(AttackSession &session,
 {
 }
 
-std::optional<Addr>
+std::optional<std::vector<Addr>>
 EvictionSetBuilder::extendToSf(Addr ta, const std::vector<Addr> &llc_set,
                                const std::vector<Addr> &cands,
                                Cycles deadline)
 {
+    const MachineConfig &cfg = session_.machine().config();
+    const unsigned w_llc = static_cast<unsigned>(llc_set.size());
+    // W_SF - W_LLC further congruent addresses are needed: 1 on
+    // Skylake-SP (12- vs 11-way) but 4 on Ice Lake-SP (16- vs
+    // 12-way).  LLC and SF share the set mapping and slice hash, so
+    // LLC-congruence is the membership test.
+    const unsigned needed =
+        cfg.sf.ways > w_llc ? cfg.sf.ways - w_llc : 1;
+
     std::unordered_set<Addr> exclude(llc_set.begin(), llc_set.end());
     exclude.insert(ta);
-    std::vector<Addr> buf = llc_set;
-    buf.push_back(0); // slot for the probe address
+    std::vector<Addr> extras;
+    // Substitution probe: llc_set with its last member swapped for the
+    // candidate — the set evicts ta again iff the candidate is
+    // congruent too.
+    std::vector<Addr> probe = llc_set;
     for (Addr x : cands) {
         if (session_.expired(deadline))
             return std::nullopt;
         if (exclude.count(x))
             continue;
-        buf.back() = x;
-        // Two consecutive positives damp noise-induced false hits.
-        if (session_.testEvictionSfParallel(ta, buf, buf.size()) &&
-            session_.testEvictionSfParallel(ta, buf, buf.size())) {
-            return x;
+        probe.back() = x;
+        // Two consecutive positives damp noise-induced false
+        // congruence, as in the per-candidate SF test this replaces.
+        if (!session_.testEvictionLlcParallel(ta, probe, probe.size()) ||
+            !session_.testEvictionLlcParallel(ta, probe, probe.size()))
+            continue;
+        extras.push_back(x);
+        exclude.insert(x);
+        if (extras.size() < needed)
+            continue;
+        // Full-set confirmation against the SF; two consecutive
+        // positives damp noise-induced false hits.
+        std::vector<Addr> full = llc_set;
+        full.insert(full.end(), extras.begin(), extras.end());
+        if (session_.testEvictionSfParallel(ta, full, full.size()) &&
+            session_.testEvictionSfParallel(ta, full, full.size())) {
+            return extras;
         }
+        // Confirmation failed: drop the latest pick and keep looking.
+        exclude.erase(extras.back());
+        extras.pop_back();
     }
     return std::nullopt;
 }
@@ -64,7 +91,7 @@ EvictionSetBuilder::attemptBuild(Addr ta, const std::vector<Addr> &cands,
     evset.target = ta;
     evset.llcSet = pr.evset;
     evset.sfSet = pr.evset;
-    evset.sfSet.push_back(*ext);
+    evset.sfSet.insert(evset.sfSet.end(), ext->begin(), ext->end());
     return evset;
 }
 

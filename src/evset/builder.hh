@@ -108,12 +108,13 @@ class EvictionSetBuilder
   private:
     /**
      * Extend an LLC eviction set to an SF eviction set by locating
-     * one additional congruent address (Section 4.2's protocol).
+     * the W_SF - W_LLC additional congruent addresses (Section 4.2's
+     * protocol; one address on Skylake-SP, four on Ice Lake-SP).
+     * Returns the extension addresses.
      */
-    std::optional<Addr> extendToSf(Addr ta,
-                                   const std::vector<Addr> &llc_set,
-                                   const std::vector<Addr> &cands,
-                                   Cycles deadline);
+    std::optional<std::vector<Addr>> extendToSf(
+        Addr ta, const std::vector<Addr> &llc_set,
+        const std::vector<Addr> &cands, Cycles deadline);
 
     /** One construction attempt (no retry policy). */
     std::optional<BuiltEvictionSet> attemptBuild(

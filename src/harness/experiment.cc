@@ -55,7 +55,9 @@ ExperimentResult::writeJson(JsonWriter &w) const
         w.member("stddev", stats.stddev());
         if (!stats.empty()) {
             w.member("min", stats.min());
+            w.member("p10", stats.percentile(10.0));
             w.member("median", stats.median());
+            w.member("p90", stats.percentile(90.0));
             w.member("max", stats.max());
         }
         w.endObject();

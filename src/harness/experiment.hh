@@ -100,10 +100,10 @@ class ExperimentResult
 
     /**
      * Serialise as one entry of a BENCH_*.json "benchmarks" array:
-     * name, trials, seed, then {count, mean, stddev, min, median, max}
-     * per metric and {trials, successes, rate} per outcome.  Thread
-     * count is deliberately omitted so runs at different parallelism
-     * stay byte-identical.
+     * name, trials, seed, then {count, mean, stddev, min, p10, median,
+     * p90, max} per metric and {trials, successes, rate} per outcome.
+     * Thread count is deliberately omitted so runs at different
+     * parallelism stay byte-identical.
      */
     void writeJson(JsonWriter &w) const;
 

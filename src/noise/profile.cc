@@ -1,5 +1,7 @@
 #include "profile.hh"
 
+#include <utility>
+
 namespace llcf {
 
 NoiseProfile
@@ -54,6 +56,31 @@ customCloud(double accesses_per_set_per_ms)
     p.name = "custom-cloud";
     p.accessesPerSetPerMs = accesses_per_set_per_ms;
     return p;
+}
+
+NoiseProfile
+silent()
+{
+    NoiseProfile p;
+    p.name = "silent";
+    p.accessesPerSetPerMs = 0.0;
+    p.burstMean = 1.0;
+    p.latencyJitter = 0.0;
+    p.interruptRate = 0.0;
+    return p;
+}
+
+bool
+noiseProfileByName(const std::string &name, NoiseProfile &out)
+{
+    for (NoiseProfile p : {quiescentLocal(), cloudRun(),
+                           cloudRunQuietHours(), silent()}) {
+        if (p.name == name) {
+            out = std::move(p);
+            return true;
+        }
+    }
+    return false;
 }
 
 } // namespace llcf

@@ -87,6 +87,21 @@ NoiseProfile cloudRunQuietHours();
 /** A profile with a custom access rate, derived from cloudRun(). */
 NoiseProfile customCloud(double accesses_per_set_per_ms);
 
+/**
+ * A perfectly deterministic environment: no background accesses, no
+ * timing jitter, no interrupts.  Not one of the paper's measured
+ * environments — used by regression scenarios and unit tests that
+ * need tight tolerance bands.
+ */
+NoiseProfile silent();
+
+/**
+ * Look up a profile by its name field ("quiescent-local",
+ * "cloud-run", "cloud-run-3-5am", "silent").
+ * @return true and fills @p out on a known name.
+ */
+bool noiseProfileByName(const std::string &name, NoiseProfile &out);
+
 } // namespace llcf
 
 #endif // LLCF_NOISE_PROFILE_HH

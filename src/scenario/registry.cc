@@ -1,0 +1,232 @@
+#include "registry.hh"
+
+#include <utility>
+
+#include "common/log.hh"
+
+namespace llcf {
+namespace {
+
+/** Short noise key used in scenario names -> profile name. */
+const char *
+noiseFor(const char *key)
+{
+    const std::string k(key);
+    if (k == "local")
+        return "quiescent-local";
+    if (k == "cloud")
+        return "cloud-run";
+    if (k == "quiet")
+        return "cloud-run-3-5am";
+    if (k == "silent")
+        return "silent";
+    fatal("unknown noise key '%s'", key);
+}
+
+/** Spec skeleton shared by the scenario families below. */
+ScenarioSpec
+base(const char *name, const char *description, ScenarioStage stage,
+     ScenarioMachine machine, unsigned slices, ReplKind repl,
+     const char *noise_key, PruneAlgo algo)
+{
+    ScenarioSpec s;
+    s.name = name;
+    s.description = description;
+    s.stage = stage;
+    s.machine = machine;
+    s.slices = slices;
+    s.sharedRepl = repl;
+    s.noise = noiseFor(noise_key);
+    s.algo = algo;
+    return s;
+}
+
+ScenarioRegistry
+makeBuiltins()
+{
+    using M = ScenarioMachine;
+    using R = ReplKind;
+    using A = PruneAlgo;
+    using St = ScenarioStage;
+    ScenarioRegistry reg;
+
+    // ---- Eviction-set construction across hosts, policies, noise.
+    reg.add(base("build-gt-skl-lru-local",
+                 "Group testing on quiescent Skylake-SP (Table 3 row)",
+                 St::EvsetBuild, M::SkylakeSp, 4, R::LRU, "local",
+                 A::Gt));
+    // Stress cell: at the 11/12-way Skylake geometry a Tree-PLRU
+    // LLC/SF defeats single-pass traversal, so success rates collapse.
+    reg.add(base("build-gtop-skl-plru-cloud",
+                 "Stress: optimised group testing vs Tree-PLRU LLC/SF",
+                 St::EvsetBuild, M::SkylakeSp, 4, R::TreePLRU, "cloud",
+                 A::GtOp));
+    reg.add(base("build-ps-skl-srrip-local",
+                 "Prime+Scope pruning under SRRIP on a quiet host",
+                 St::EvsetBuild, M::SkylakeSp, 4, R::SRRIP, "local",
+                 A::Ps));
+    // Stress cell: single-pass eviction-set traversal rarely displaces
+    // the target under random replacement, so construction mostly
+    // fails — the matrix documents the degradation.
+    reg.add(base("build-psop-skl-random-cloud",
+                 "Stress: recharging Prime+Scope vs a Random LLC/SF",
+                 St::EvsetBuild, M::SkylakeSp, 4, R::Random, "cloud",
+                 A::PsOp));
+    reg.add(base("build-bins-skl-lru-cloud",
+                 "Binary-search pruning on Cloud Run (Table 4 row)",
+                 St::EvsetBuild, M::SkylakeSp, 4, R::LRU, "cloud",
+                 A::BinS));
+    reg.add(base("build-bins-skl-lru-quiet",
+                 "Binary-search pruning in the 3-5 am quiet hours",
+                 St::EvsetBuild, M::SkylakeSp, 4, R::LRU, "quiet",
+                 A::BinS));
+    reg.add(base("build-gt-icx-lru-cloud",
+                 "Group testing on Ice Lake-SP (Section 5.3.2 host)",
+                 St::EvsetBuild, M::IceLakeSp, 4, R::LRU, "cloud",
+                 A::Gt));
+    reg.add(base("build-bins-icx-lru-local",
+                 "Binary-search pruning on a quiescent Ice Lake-SP",
+                 St::EvsetBuild, M::IceLakeSp, 4, R::LRU, "local",
+                 A::BinS));
+
+    // ---- Deterministic regression anchors (tight tolerance bands).
+    {
+        ScenarioSpec s = base(
+            "build-bins-tiny-lru-silent",
+            "Regression anchor: BinS on the tiny machine, zero noise",
+            St::EvsetBuild, M::TinyTest, 2, R::LRU, "silent", A::BinS);
+        s.defaultTrials = 6;
+        reg.add(s);
+    }
+    {
+        ScenarioSpec s = base(
+            "build-bins-sklscaled-lru-local",
+            "Regression anchor: BinS on a 2-slice scaled Skylake",
+            St::EvsetBuild, M::ScaledSkylake, 2, R::LRU, "local",
+            A::BinS);
+        s.defaultTrials = 3;
+        reg.add(s);
+    }
+
+    // ---- Scanner stage: PSD target-set identification.
+    {
+        ScenarioSpec s = base(
+            "scan-bins-tiny-lru-local",
+            "PSD scan finds the victim's SF set on a quiet tiny host",
+            St::Scan, M::TinyTest, 2, R::LRU, "local", A::BinS);
+        s.defaultTrials = 3;
+        s.scanTimeoutSec = 3.0;
+        reg.add(s);
+    }
+    {
+        ScenarioSpec s = base(
+            "scan-bins-tiny-srrip-silent",
+            "PSD scan with an SRRIP-managed LLC/SF, zero noise",
+            St::Scan, M::TinyTest, 2, R::SRRIP, "silent", A::BinS);
+        s.defaultTrials = 3;
+        s.scanTimeoutSec = 3.0;
+        reg.add(s);
+    }
+    {
+        ScenarioSpec s = base(
+            "scan-bins-tiny-plru-silent",
+            "PSD scan with a Tree-PLRU LLC/SF, zero noise",
+            St::Scan, M::TinyTest, 2, R::TreePLRU, "silent", A::BinS);
+        s.defaultTrials = 3;
+        s.scanTimeoutSec = 3.0;
+        reg.add(s);
+    }
+
+    // ---- Full end-to-end nonce recovery.
+    {
+        ScenarioSpec s = base(
+            "e2e-bins-tiny-lru-silent",
+            "Full attack recovers nonce bits on the tiny machine",
+            St::EndToEnd, M::TinyTest, 2, R::LRU, "silent", A::BinS);
+        s.defaultTrials = 2;
+        s.scanTimeoutSec = 3.0;
+        reg.add(s);
+    }
+    {
+        ScenarioSpec s = base(
+            "e2e-gt-tiny-srrip-local",
+            "Full attack via group testing under SRRIP replacement",
+            St::EndToEnd, M::TinyTest, 2, R::SRRIP, "local", A::Gt);
+        s.defaultTrials = 2;
+        s.scanTimeoutSec = 3.0;
+        reg.add(s);
+    }
+
+    return reg;
+}
+
+} // namespace
+
+void
+ScenarioRegistry::add(ScenarioSpec spec)
+{
+    if (find(spec.name))
+        fatal("duplicate scenario name '%s'", spec.name.c_str());
+    if (spec.name.empty())
+        fatal("scenario must have a name");
+    specs_.push_back(std::move(spec));
+}
+
+const ScenarioSpec *
+ScenarioRegistry::find(std::string_view name) const
+{
+    for (const auto &s : specs_) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+std::vector<const ScenarioSpec *>
+ScenarioRegistry::select(std::string_view patterns) const
+{
+    std::vector<bool> picked(specs_.size(), false);
+    std::size_t start = 0;
+    while (start <= patterns.size()) {
+        std::size_t comma = patterns.find(',', start);
+        if (comma == std::string_view::npos)
+            comma = patterns.size();
+        std::string_view pat = patterns.substr(start, comma - start);
+        start = comma + 1;
+        if (pat.empty())
+            continue;
+        bool matched = false;
+        const bool glob = !pat.empty() && pat.back() == '*';
+        const std::string_view prefix =
+            glob ? pat.substr(0, pat.size() - 1) : pat;
+        for (std::size_t i = 0; i < specs_.size(); ++i) {
+            const std::string &name = specs_[i].name;
+            const bool hit = glob
+                                 ? name.compare(0, prefix.size(),
+                                                prefix) == 0
+                                 : name == pat;
+            if (hit) {
+                picked[i] = true;
+                matched = true;
+            }
+        }
+        if (!matched)
+            fatal("no scenario matches '%.*s' (try --list)",
+                  static_cast<int>(pat.size()), pat.data());
+    }
+    std::vector<const ScenarioSpec *> out;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        if (picked[i])
+            out.push_back(&specs_[i]);
+    }
+    return out;
+}
+
+const ScenarioRegistry &
+builtinScenarios()
+{
+    static const ScenarioRegistry reg = makeBuiltins();
+    return reg;
+}
+
+} // namespace llcf

@@ -1,0 +1,233 @@
+#include "scenario.hh"
+
+#include "attack/e2e.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace llcf {
+namespace {
+
+/** Positional sub-seed: trial seed -> per-actor stream. */
+std::uint64_t
+actorSeed(std::uint64_t trial_seed, std::uint64_t actor)
+{
+    return streamSeed(trial_seed, actor);
+}
+
+constexpr std::uint64_t kMachineActor = 0;
+constexpr std::uint64_t kAttackerActor = 1;
+constexpr std::uint64_t kVictimActor = 2;
+
+/** Train the PSD classifier the way the paper does: offline, on a
+ *  controlled instance of the same host class. */
+TraceClassifier
+trainClassifier(const ScenarioSpec &spec, ScenarioRig &rig,
+                VictimService &victim)
+{
+    ScannerParams sparams;
+    sparams.timeout = secToCycles(spec.scanTimeoutSec);
+    TraceClassifier classifier(sparams);
+    ScannerTrainer trainer(*rig.session, victim, *rig.pool);
+    classifier.train(trainer.collect(classifier, spec.trainTargetTraces,
+                                     spec.trainNontargetTraces));
+    return classifier;
+}
+
+void
+runEvsetBuildTrial(const ScenarioSpec &spec, TrialContext &ctx,
+                   TrialRecorder &rec)
+{
+    ScenarioRig rig(spec, ctx.seed);
+    const std::size_t t = ctx.index;
+    auto cands = rig.pool->candidatesAt(
+        static_cast<unsigned>((3 * t) % kLinesPerPage));
+    const Addr ta = cands[t % cands.size()];
+    cands.erase(cands.begin() + static_cast<long>(t % cands.size()));
+
+    EvictionSetBuilder builder(*rig.session, spec.algo, spec.useFilter);
+    auto out = builder.buildForTarget(ta, cands);
+    rec.outcome("success", out.success && out.groundTruthValid);
+    rec.metric("build_cycles", static_cast<double>(out.elapsed));
+    rec.metric("attempts", static_cast<double>(out.attempts));
+}
+
+void
+runScanTrial(const ScenarioSpec &spec, TrialContext &ctx,
+             TrialRecorder &rec)
+{
+    ScenarioRig rig(spec, ctx.seed);
+    Machine &m = rig.machine;
+    VictimConfig vcfg;
+    vcfg.seed = rig.victimSeed();
+    VictimService victim(m, vcfg);
+    TraceClassifier classifier = trainClassifier(spec, rig, victim);
+
+    Cycles t0 = m.now();
+    EvictionSetBuilder builder(*rig.session, spec.algo, spec.useFilter);
+    auto bulk = builder.buildAtLineIndex(*rig.pool,
+                                         victim.targetLineIndex());
+    rec.metric("build_cycles", static_cast<double>(m.now() - t0));
+    rec.outcome("evsets_built", !bulk.evsets.empty());
+    if (bulk.evsets.empty())
+        return;
+
+    // Keep the victim serving requests across the scan window.
+    victim.serveRequests(m.now(), 8);
+    t0 = m.now();
+    TargetSetScanner scanner(*rig.session, classifier);
+    auto res = scanner.scan(bulk.evsets);
+    m.clearStreams();
+    rec.metric("scan_cycles", static_cast<double>(m.now() - t0));
+    rec.metric("sets_scanned", static_cast<double>(res.setsScanned));
+    rec.outcome("target_found", res.found);
+    rec.outcome("target_correct",
+                res.found &&
+                    m.sharedSetOf(bulk.evsets[res.evsetIndex].target) ==
+                        m.sharedSetOf(victim.targetLinePa()));
+}
+
+void
+runEndToEndTrial(const ScenarioSpec &spec, TrialContext &ctx,
+                 TrialRecorder &rec)
+{
+    ScenarioRig rig(spec, ctx.seed);
+    VictimConfig vcfg;
+    vcfg.seed = rig.victimSeed();
+    VictimService victim(rig.machine, vcfg);
+    TraceClassifier classifier = trainClassifier(spec, rig, victim);
+    NonceExtractor extractor; // rule-based boundary detection
+
+    E2EParams params;
+    params.algo = spec.algo;
+    params.useFilter = spec.useFilter;
+    params.tracesPerVictim = spec.tracesPerVictim;
+    params.scanner.timeout = secToCycles(spec.scanTimeoutSec);
+    EndToEndAttack attack(*rig.session, victim, classifier, extractor,
+                          params);
+    auto res = attack.run(*rig.pool);
+
+    rec.outcome("evsets_built", res.evsetsBuilt);
+    rec.outcome("target_found", res.targetFound);
+    rec.outcome("target_correct", res.targetCorrect);
+    rec.metric("build_cycles", static_cast<double>(res.buildTime));
+    rec.metric("scan_cycles", static_cast<double>(res.scanTime));
+    rec.metric("extract_cycles", static_cast<double>(res.extractTime));
+    rec.metric("total_cycles", static_cast<double>(res.totalTime()));
+    for (double v : res.recoveredFraction.samples())
+        rec.metric("recovered_fraction", v);
+    for (double v : res.bitErrorRate.samples())
+        rec.metric("bit_error_rate", v);
+}
+
+} // namespace
+
+const char *
+scenarioStageName(ScenarioStage stage)
+{
+    switch (stage) {
+      case ScenarioStage::EvsetBuild:
+        return "evset-build";
+      case ScenarioStage::Scan:
+        return "scan";
+      case ScenarioStage::EndToEnd:
+        return "end-to-end";
+    }
+    return "?";
+}
+
+const char *
+scenarioMachineName(ScenarioMachine machine)
+{
+    switch (machine) {
+      case ScenarioMachine::SkylakeSp:
+        return "skylake-sp";
+      case ScenarioMachine::IceLakeSp:
+        return "icelake-sp";
+      case ScenarioMachine::ScaledSkylake:
+        return "skylake-scaled";
+      case ScenarioMachine::TinyTest:
+        return "tiny";
+    }
+    return "?";
+}
+
+MachineConfig
+ScenarioSpec::machineConfig() const
+{
+    MachineConfig cfg;
+    switch (machine) {
+      case ScenarioMachine::SkylakeSp:
+        cfg = skylakeSp(slices);
+        break;
+      case ScenarioMachine::IceLakeSp:
+        cfg = iceLakeSp(slices);
+        break;
+      case ScenarioMachine::ScaledSkylake:
+        cfg = scaledSkylake(slices);
+        break;
+      case ScenarioMachine::TinyTest:
+        cfg = tinyTest(slices);
+        break;
+    }
+    return cfg.withSharedRepl(sharedRepl);
+}
+
+NoiseProfile
+ScenarioSpec::noiseProfile() const
+{
+    NoiseProfile p;
+    if (!noiseProfileByName(noise, p))
+        fatal("scenario '%s': unknown noise profile '%s'", name.c_str(),
+              noise.c_str());
+    return p;
+}
+
+ScenarioRig::ScenarioRig(const ScenarioSpec &spec, std::uint64_t seed)
+    : machine(spec.machineConfig(), spec.noiseProfile(),
+              actorSeed(seed, kMachineActor))
+{
+    AttackerConfig acfg;
+    acfg.seed = actorSeed(seed, kAttackerActor);
+    acfg.evsetBudget = msToCycles(spec.evsetBudgetMs);
+    acfg.candidateFactor = spec.candidateFactor;
+    session = std::make_unique<AttackSession>(machine, acfg);
+    pool = std::make_unique<CandidatePool>(
+        *session,
+        CandidatePool::requiredPages(machine, spec.candidateFactor));
+    victimSeed_ = actorSeed(seed, kVictimActor);
+}
+
+void
+runScenarioTrial(const ScenarioSpec &spec, TrialContext &ctx,
+                 TrialRecorder &rec)
+{
+    switch (spec.stage) {
+      case ScenarioStage::EvsetBuild:
+        runEvsetBuildTrial(spec, ctx, rec);
+        return;
+      case ScenarioStage::Scan:
+        runScanTrial(spec, ctx, rec);
+        return;
+      case ScenarioStage::EndToEnd:
+        runEndToEndTrial(spec, ctx, rec);
+        return;
+    }
+    fatal("scenario '%s': unknown stage", spec.name.c_str());
+}
+
+ExperimentResult
+runScenario(const ScenarioSpec &spec, std::size_t trials,
+            unsigned threads, std::uint64_t masterSeed)
+{
+    ExperimentConfig cfg;
+    cfg.name = spec.name;
+    cfg.trials = trials ? trials : spec.defaultTrials;
+    cfg.threads = threads;
+    cfg.masterSeed = masterSeed;
+    ExperimentRunner runner(cfg);
+    return runner.run([&spec](TrialContext &ctx, TrialRecorder &rec) {
+        runScenarioTrial(spec, ctx, rec);
+    });
+}
+
+} // namespace llcf

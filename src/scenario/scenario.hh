@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Named end-to-end attack scenarios.
+ *
+ * A scenario is one point in the experiment matrix the paper sweeps
+ * by hand: a host microarchitecture, a shared-cache replacement
+ * policy, an environment noise profile, a pruning algorithm and
+ * attacker knobs, plus a pipeline-stage selector choosing how deep
+ * into the attack the scenario drives (eviction-set construction
+ * only, PSD scanning, or the full nonce-recovery attack).
+ *
+ * Scenarios execute on the deterministic experiment harness: every
+ * trial builds its whole world (machine, attacker session, candidate
+ * pool, victim) from its positional RNG stream, so a scenario's
+ * aggregate — and its BENCH_scenarios.json serialisation — is
+ * byte-identical at any worker-thread count.
+ */
+
+#ifndef LLCF_SCENARIO_SCENARIO_HH
+#define LLCF_SCENARIO_SCENARIO_HH
+
+#include <memory>
+#include <string>
+
+#include "evset/builder.hh"
+#include "harness/experiment.hh"
+#include "noise/profile.hh"
+
+namespace llcf {
+
+/** How deep into the attack pipeline a scenario drives. */
+enum class ScenarioStage
+{
+    EvsetBuild, //!< Step 1 only: one SF eviction set per trial
+    Scan,       //!< Steps 1-2: bulk build + PSD target-set scan
+    EndToEnd,   //!< Steps 1-3: full EndToEndAttack with extraction
+};
+
+/** Human-readable stage name. */
+const char *scenarioStageName(ScenarioStage stage);
+
+/** Host selector, kept symbolic so specs stay declarative. */
+enum class ScenarioMachine { SkylakeSp, IceLakeSp, ScaledSkylake, TinyTest };
+
+/** Human-readable machine-kind name. */
+const char *scenarioMachineName(ScenarioMachine machine);
+
+/**
+ * Full declarative description of one scenario: the registry key
+ * plus everything needed to rebuild its world from a trial seed.
+ */
+struct ScenarioSpec
+{
+    std::string name;        //!< registry key, e.g. "build-bins-skl-lru-cloud"
+    std::string description; //!< one-line intent, shown by --list
+
+    // ------------------------------------------------- matrix axes
+    ScenarioMachine machine = ScenarioMachine::TinyTest;
+    unsigned slices = 2;                  //!< host slice count
+    ReplKind sharedRepl = ReplKind::LRU;  //!< LLC + SF policy
+    std::string noise = "quiescent-local"; //!< NoiseProfile name
+    PruneAlgo algo = PruneAlgo::BinS;
+    bool useFilter = true; //!< L2-driven candidate filtering
+    ScenarioStage stage = ScenarioStage::EvsetBuild;
+
+    // --------------------------------------------- attacker knobs
+    double evsetBudgetMs = 100.0; //!< per-set construction budget
+    double candidateFactor = 3.0; //!< pool size factor (N = f*U*W)
+
+    // --------------------------------------------- stage-specific
+    unsigned tracesPerVictim = 2;    //!< EndToEnd: signings monitored
+    unsigned trainTargetTraces = 20; //!< Scan/EndToEnd: classifier
+    unsigned trainNontargetTraces = 40;
+    double scanTimeoutSec = 10.0;    //!< Scan/EndToEnd scanner timeout
+
+    std::size_t defaultTrials = 4; //!< trials when the caller passes 0
+
+    /** Instantiate the host config (slices + shared policy applied). */
+    MachineConfig machineConfig() const;
+
+    /** Resolve the noise profile; fatal on an unknown name. */
+    NoiseProfile noiseProfile() const;
+};
+
+/**
+ * One trial's world, rebuilt per trial from the spec and the trial's
+ * stream seed: machine, attacker session, candidate pool.  Machine,
+ * attacker and victim randomness are derived positionally from the
+ * seed, so two rigs from the same (spec, seed) are identical.
+ */
+struct ScenarioRig
+{
+    ScenarioRig(const ScenarioSpec &spec, std::uint64_t seed);
+
+    /** Seed for the victim service of this trial (stage Scan/E2E). */
+    std::uint64_t victimSeed() const { return victimSeed_; }
+
+    Machine machine;
+    std::unique_ptr<AttackSession> session;
+    std::unique_ptr<CandidatePool> pool;
+
+  private:
+    std::uint64_t victimSeed_ = 0;
+};
+
+/**
+ * Execute one trial of @p spec, recording stage-appropriate metrics:
+ *
+ *  - EvsetBuild: outcome "success"; metrics "build_cycles", "attempts"
+ *  - Scan: outcomes "evsets_built", "target_found", "target_correct";
+ *    metrics "build_cycles", "scan_cycles", "sets_scanned"
+ *  - EndToEnd: the scan outcomes plus metrics "extract_cycles",
+ *    "total_cycles", "recovered_fraction", "bit_error_rate"
+ *
+ * Uses only @p ctx state — never ambient randomness — so the harness
+ * determinism contract holds.
+ */
+void runScenarioTrial(const ScenarioSpec &spec, TrialContext &ctx,
+                      TrialRecorder &rec);
+
+/**
+ * Run @p spec on the experiment harness.
+ *
+ * @param trials 0 = spec.defaultTrials.
+ * @param threads 0 = LLCF_THREADS / hardware concurrency.
+ * @param masterSeed Root of the per-trial RNG streams.
+ */
+ExperimentResult runScenario(const ScenarioSpec &spec,
+                             std::size_t trials = 0, unsigned threads = 0,
+                             std::uint64_t masterSeed = 42);
+
+} // namespace llcf
+
+#endif // LLCF_SCENARIO_SCENARIO_HH

@@ -33,6 +33,14 @@ MachineConfig::check() const
              l2.ways, sf.ways + 2);
 }
 
+MachineConfig &
+MachineConfig::withSharedRepl(ReplKind kind)
+{
+    llcRepl = kind;
+    sfRepl = kind;
+    return *this;
+}
+
 MachineConfig
 skylakeSp(unsigned slices)
 {

@@ -53,6 +53,13 @@ struct MachineConfig
 
     /** Validate geometric invariants the attack techniques rely on. */
     void check() const;
+
+    /**
+     * Set the replacement policy of the shared structures (LLC + SF)
+     * — the axis the paper's policy ablation varies.  Returns *this
+     * for chaining onto the factory calls.
+     */
+    MachineConfig &withSharedRepl(ReplKind kind);
 };
 
 /**

@@ -1,9 +1,11 @@
 /**
  * @file
- * Golden-value tests for the crypto primitives: SHA-256 against NIST
- * CAVS / FIPS 180-4 byte-oriented vectors beyond the ones in
- * test_crypto.cc, and BigUint multiply/divide/mod round-trip
- * identities on random multi-limb operands.
+ * Golden-value tests for the crypto and hashing primitives: SHA-256
+ * against NIST CAVS / FIPS 180-4 byte-oriented vectors beyond the
+ * ones in test_crypto.cc, BigUint multiply/divide/mod round-trip
+ * identities on random multi-limb operands, slice-hash uniformity and
+ * pinned mappings for the default machine salts, and an ECDSA
+ * sign/verify + ladder-nonce-bit round trip.
  */
 
 #include <gtest/gtest.h>
@@ -12,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "cache/slice_hash.hh"
 #include "common/rng.hh"
 #include "crypto/biguint.hh"
+#include "crypto/ecdsa.hh"
 #include "crypto/sha256.hh"
 
 namespace llcf {
@@ -152,6 +156,118 @@ TEST(BigUintRoundTrip, HexAndShiftRoundTrips)
         const unsigned k = static_cast<unsigned>(rng.nextBelow(200));
         EXPECT_EQ((a << k) >> k, a);
     }
+}
+
+// ----------------------------------------------------------- slice hash
+
+TEST(SliceHashGolden, UniformAcrossSlicesForFixedSalts)
+{
+    // The pruning algorithms assume candidate addresses spread evenly
+    // over slices for any salt; a skewed hash would silently inflate
+    // per-set congruence and fake success rates.
+    for (std::uint64_t salt : {0x5eed5a17ULL, 0xabcdef01ULL, 0x1ULL}) {
+        for (unsigned slices : {8u, 26u, 28u}) {
+            OpaqueSliceHash hash(slices, salt);
+            std::vector<unsigned> counts(slices, 0);
+            const unsigned n = 64 * 1024;
+            for (unsigned i = 0; i < n; ++i) {
+                // Page-stride addresses, like candidate-pool frames.
+                const Addr pa = static_cast<Addr>(i) * kPageBytes;
+                const unsigned s = hash.slice(pa);
+                ASSERT_LT(s, slices);
+                counts[s]++;
+            }
+            const double expect = static_cast<double>(n) / slices;
+            for (unsigned s = 0; s < slices; ++s) {
+                EXPECT_NEAR(counts[s], expect, expect * 0.2)
+                    << "salt " << salt << " slices " << slices
+                    << " slice " << s;
+            }
+        }
+    }
+}
+
+TEST(SliceHashGolden, PinnedValuesForDefaultSalt)
+{
+    // Pin the mapping of the default machine salt: a drift here would
+    // silently re-shuffle every scenario's ground truth.
+    OpaqueSliceHash h28(28, 0x5eed5a17);
+    OpaqueSliceHash h26(26, 0x5eed5a17);
+    const struct
+    {
+        Addr pa;
+        unsigned s28;
+        unsigned s26;
+    } golden[] = {
+        {0x0ULL, 2u, 12u},
+        {0x40ULL, 8u, 14u},
+        {0x1000ULL, 10u, 10u},
+        {0xdeadbee000ULL, 4u, 18u},
+        {0x48d159e000ULL, 13u, 5u},
+    };
+    for (const auto &g : golden) {
+        EXPECT_EQ(h28.slice(g.pa), g.s28) << std::hex << g.pa;
+        EXPECT_EQ(h26.slice(g.pa), g.s26) << std::hex << g.pa;
+    }
+}
+
+TEST(SliceHashGolden, XorMatrixParity)
+{
+    // Two mask bits -> 4 slices; slice bit i = parity(pa & mask[i]).
+    XorMatrixSliceHash hash({0x40ULL, 0x80ULL});
+    EXPECT_EQ(hash.slices(), 4u);
+    EXPECT_EQ(hash.slice(0x000), 0u);
+    EXPECT_EQ(hash.slice(0x040), 1u);
+    EXPECT_EQ(hash.slice(0x080), 2u);
+    EXPECT_EQ(hash.slice(0x0c0), 3u);
+    EXPECT_EQ(hash.slice(0x1c0), 3u); // bit 8 not in any mask
+}
+
+// ---------------------------------------------------------------- ECDSA
+
+TEST(EcdsaGolden, SignVerifyAndLadderBitRoundTrip)
+{
+    Ecdsa ecdsa(Rng{1234});
+    const EcdsaKeyPair kp = ecdsa.generateKey();
+    const Sha256Digest digest = sha256(std::string(
+        "scenario-matrix golden message"));
+
+    SigningRecord rec = ecdsa.signWithTrace(digest, kp.d);
+    EXPECT_TRUE(ecdsa.verify(digest, rec.signature, kp.q));
+
+    // Tampering must break verification.
+    EXPECT_FALSE(ecdsa.verify(sha256(std::string("tampered")),
+                              rec.signature, kp.q));
+    EcdsaSignature bad = rec.signature;
+    bad.s = BigUint::addMod(bad.s, BigUint(1),
+                            Sect571r1::instance().order());
+    EXPECT_FALSE(ecdsa.verify(digest, bad, kp.q));
+
+    // Nonce-bit round trip: the ladder records the bits below the
+    // implicit leading 1, in loop (MSB-first) order — exactly the
+    // ground truth the extraction pipeline is scored against.
+    ASSERT_FALSE(rec.ladderBits.empty());
+    ASSERT_EQ(rec.ladderBits.size(), rec.nonce.bitLength() - 1);
+    BigUint k(1);
+    for (std::uint8_t bit : rec.ladderBits) {
+        ASSERT_LE(bit, 1);
+        k = (k << 1) + BigUint(bit);
+    }
+    EXPECT_EQ(k, rec.nonce);
+}
+
+TEST(EcdsaGolden, DistinctNoncesAcrossSignings)
+{
+    // Nonce reuse would invalidate the attack premise (and the
+    // crypto); consecutive signings must draw fresh nonces.
+    Ecdsa ecdsa(Rng{777});
+    const EcdsaKeyPair kp = ecdsa.generateKey();
+    const Sha256Digest digest = sha256(std::string("same message"));
+    SigningRecord a = ecdsa.signWithTrace(digest, kp.d);
+    SigningRecord b = ecdsa.signWithTrace(digest, kp.d);
+    EXPECT_NE(a.nonce, b.nonce);
+    EXPECT_TRUE(ecdsa.verify(digest, a.signature, kp.q));
+    EXPECT_TRUE(ecdsa.verify(digest, b.signature, kp.q));
 }
 
 } // namespace

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the scenario subsystem: registry coverage of the
+ * machine x policy x noise x stage matrix, spec resolution, selection
+ * syntax, statistical regression bands for the anchor scenarios
+ * (fixed seeds, tolerance-banded success rates and cycle quantiles),
+ * and the load-bearing determinism property — byte-identical suite
+ * JSON for 1 vs 8 harness threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "scenario/registry.hh"
+#include "scenario/scenario.hh"
+
+namespace llcf {
+namespace {
+
+// ----------------------------------------------------------- registry
+
+TEST(Registry, BuiltinsSpanTheMatrix)
+{
+    const ScenarioRegistry &reg = builtinScenarios();
+    EXPECT_GE(reg.all().size(), 12u);
+
+    std::set<ScenarioMachine> machines;
+    std::set<ReplKind> repls;
+    std::set<std::string> noises;
+    std::set<ScenarioStage> stages;
+    std::set<std::string> names;
+    for (const ScenarioSpec &s : reg.all()) {
+        machines.insert(s.machine);
+        repls.insert(s.sharedRepl);
+        noises.insert(s.noise);
+        stages.insert(s.stage);
+        EXPECT_TRUE(names.insert(s.name).second)
+            << "duplicate scenario name " << s.name;
+        EXPECT_FALSE(s.description.empty()) << s.name;
+    }
+    // Both host configurations of the paper.
+    EXPECT_TRUE(machines.count(ScenarioMachine::SkylakeSp));
+    EXPECT_TRUE(machines.count(ScenarioMachine::IceLakeSp));
+    // All four replacement policies.
+    EXPECT_EQ(repls.size(), 4u);
+    // At least two noise regimes.
+    EXPECT_GE(noises.size(), 2u);
+    // Every pipeline stage.
+    EXPECT_EQ(stages.size(), 3u);
+}
+
+TEST(Registry, SpecsResolveToValidWorlds)
+{
+    for (const ScenarioSpec &s : builtinScenarios().all()) {
+        MachineConfig cfg = s.machineConfig(); // check()s internally
+        EXPECT_EQ(cfg.llcRepl, s.sharedRepl) << s.name;
+        EXPECT_EQ(cfg.sfRepl, s.sharedRepl) << s.name;
+        EXPECT_EQ(s.noiseProfile().name, s.noise) << s.name;
+    }
+}
+
+TEST(Registry, FindAndSelect)
+{
+    const ScenarioRegistry &reg = builtinScenarios();
+    ASSERT_NE(reg.find("build-bins-tiny-lru-silent"), nullptr);
+    EXPECT_EQ(reg.find("no-such-scenario"), nullptr);
+
+    auto builds = reg.select("build-*");
+    EXPECT_GE(builds.size(), 8u);
+    for (const ScenarioSpec *s : builds)
+        EXPECT_EQ(s->stage, ScenarioStage::EvsetBuild) << s->name;
+
+    // Exact + glob selection, duplicates dropped, registry order kept.
+    auto picked = reg.select(
+        "e2e-bins-tiny-lru-silent,build-*,build-gt-skl-lru-local");
+    EXPECT_EQ(picked.size(), builds.size() + 1);
+    EXPECT_EQ(picked.front()->name, "build-gt-skl-lru-local");
+    EXPECT_EQ(picked.back()->name, "e2e-bins-tiny-lru-silent");
+
+    EXPECT_DEATH((void)reg.select("definitely-missing"), "no scenario");
+}
+
+TEST(Registry, RejectsDuplicateNames)
+{
+    ScenarioRegistry reg;
+    ScenarioSpec s;
+    s.name = "dup";
+    s.description = "x";
+    reg.add(s);
+    EXPECT_DEATH(reg.add(s), "duplicate scenario");
+}
+
+TEST(Registry, AxisNamesParseRoundTrip)
+{
+    // The registry's axes are addressable by their printed names —
+    // what a future per-axis CLI (and the --list output) relies on.
+    for (PruneAlgo algo : kAllPruneAlgos) {
+        PruneAlgo parsed;
+        ASSERT_TRUE(parsePruneAlgo(pruneAlgoName(algo), parsed));
+        EXPECT_EQ(parsed, algo);
+    }
+    PruneAlgo out;
+    EXPECT_TRUE(parsePruneAlgo("bins", out));
+    EXPECT_EQ(out, PruneAlgo::BinS);
+    EXPECT_FALSE(parsePruneAlgo("quicksort", out));
+
+    NoiseProfile p;
+    for (const ScenarioSpec &s : builtinScenarios().all())
+        EXPECT_TRUE(noiseProfileByName(s.noise, p)) << s.noise;
+    EXPECT_FALSE(noiseProfileByName("hurricane", p));
+}
+
+// ------------------------------------------------- rig reproducibility
+
+TEST(ScenarioRig, IdenticalFromSameSpecAndSeed)
+{
+    const ScenarioSpec *spec =
+        builtinScenarios().find("build-bins-tiny-lru-silent");
+    ASSERT_NE(spec, nullptr);
+    ScenarioRig a(*spec, 1234), b(*spec, 1234);
+    EXPECT_EQ(a.machine.config().name, b.machine.config().name);
+    EXPECT_EQ(a.victimSeed(), b.victimSeed());
+    ASSERT_EQ(a.pool->pages(), b.pool->pages());
+    for (std::size_t p = 0; p < a.pool->pages(); p += 7)
+        EXPECT_EQ(a.pool->at(p, 3), b.pool->at(p, 3));
+
+    ScenarioRig c(*spec, 1235);
+    EXPECT_NE(a.victimSeed(), c.victimSeed());
+}
+
+// -------------------------------------- statistical regression bands
+
+TEST(ScenarioRegression, TinySilentBuildWithinBands)
+{
+    const ScenarioSpec *spec =
+        builtinScenarios().find("build-bins-tiny-lru-silent");
+    ASSERT_NE(spec, nullptr);
+    ExperimentResult res = runScenario(*spec, 6, 0, 42);
+
+    const SuccessRate *sr = res.outcome("success");
+    ASSERT_NE(sr, nullptr);
+    EXPECT_EQ(sr->trials(), 6u);
+    EXPECT_GE(sr->rate(), 0.8);
+
+    const SampleStats *t = res.metric("build_cycles");
+    ASSERT_NE(t, nullptr);
+    ASSERT_FALSE(t->empty());
+    // Observed ~73 us median on the tiny machine; the band is wide
+    // enough for compiler/libm variation but catches order-of-
+    // magnitude regressions in the fast path.
+    EXPECT_GE(t->median(), static_cast<double>(usToCycles(10.0)));
+    EXPECT_LE(t->median(), static_cast<double>(usToCycles(1000.0)));
+    EXPECT_LE(t->percentile(90.0),
+              static_cast<double>(msToCycles(10.0)));
+}
+
+TEST(ScenarioRegression, ScaledSkylakeBuildWithinBands)
+{
+    const ScenarioSpec *spec =
+        builtinScenarios().find("build-bins-sklscaled-lru-local");
+    ASSERT_NE(spec, nullptr);
+    ExperimentResult res = runScenario(*spec, 3, 0, 42);
+
+    const SuccessRate *sr = res.outcome("success");
+    ASSERT_NE(sr, nullptr);
+    EXPECT_GE(sr->rate(), 2.0 / 3.0);
+
+    const SampleStats *t = res.metric("build_cycles");
+    ASSERT_NE(t, nullptr);
+    ASSERT_FALSE(t->empty());
+    // Observed ~1.2 ms median at 2 slices.
+    EXPECT_GE(t->median(), static_cast<double>(usToCycles(100.0)));
+    EXPECT_LE(t->median(), static_cast<double>(msToCycles(30.0)));
+}
+
+TEST(ScenarioRegression, TinyScanFindsTheTargetSet)
+{
+    const ScenarioSpec *spec =
+        builtinScenarios().find("scan-bins-tiny-lru-local");
+    ASSERT_NE(spec, nullptr);
+    ExperimentResult res = runScenario(*spec, 2, 0, 42);
+
+    const SuccessRate *built = res.outcome("evsets_built");
+    ASSERT_NE(built, nullptr);
+    EXPECT_EQ(built->rate(), 1.0);
+    const SuccessRate *correct = res.outcome("target_correct");
+    ASSERT_NE(correct, nullptr);
+    EXPECT_GE(correct->rate(), 0.5);
+    const SampleStats *scanned = res.metric("sets_scanned");
+    ASSERT_NE(scanned, nullptr);
+    EXPECT_GT(scanned->mean(), 0.0);
+}
+
+TEST(ScenarioRegression, TinyEndToEndRecoversNonceBits)
+{
+    const ScenarioSpec *spec =
+        builtinScenarios().find("e2e-bins-tiny-lru-silent");
+    ASSERT_NE(spec, nullptr);
+    ExperimentResult res = runScenario(*spec, 1, 0, 42);
+
+    const SuccessRate *correct = res.outcome("target_correct");
+    ASSERT_NE(correct, nullptr);
+    EXPECT_EQ(correct->rate(), 1.0);
+    const SampleStats *recovered = res.metric("recovered_fraction");
+    ASSERT_NE(recovered, nullptr);
+    ASSERT_FALSE(recovered->empty());
+    EXPECT_GT(recovered->median(), 0.4);
+    const SampleStats *total = res.metric("total_cycles");
+    ASSERT_NE(total, nullptr);
+    EXPECT_GT(total->mean(), 0.0);
+}
+
+// ------------------------------------------------------- determinism
+
+TEST(ScenarioDeterminism, SuiteJsonIdenticalAcrossThreadCounts)
+{
+    const ScenarioRegistry &reg = builtinScenarios();
+    const char *anchors[] = {"build-bins-tiny-lru-silent",
+                             "scan-bins-tiny-srrip-silent"};
+    ExperimentSuite one("scenarios"), eight("scenarios");
+    for (const char *name : anchors) {
+        const ScenarioSpec *spec = reg.find(name);
+        ASSERT_NE(spec, nullptr) << name;
+        const std::size_t trials =
+            spec->stage == ScenarioStage::EvsetBuild ? 4 : 2;
+        one.add(runScenario(*spec, trials, 1, 7));
+        eight.add(runScenario(*spec, trials, 8, 7));
+    }
+    EXPECT_EQ(one.toJson(), eight.toJson());
+}
+
+TEST(ScenarioDeterminism, RepeatedRunsAreBitIdentical)
+{
+    const ScenarioSpec *spec =
+        builtinScenarios().find("build-bins-tiny-lru-silent");
+    ASSERT_NE(spec, nullptr);
+    ExperimentSuite a("scenarios"), b("scenarios");
+    a.add(runScenario(*spec, 3, 2, 99));
+    b.add(runScenario(*spec, 3, 3, 99));
+    EXPECT_EQ(a.toJson(), b.toJson());
+}
+
+} // namespace
+} // namespace llcf
