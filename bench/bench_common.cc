@@ -15,7 +15,8 @@ printUsageAndExit(const char *prog, int code)
     std::fprintf(out,
                  "usage: %s [--seed=N] [--trials=N] [--threads=N]\n"
                  "          [--json-out=PATH] [--full-scale] "
-                 "[bench-specific flags]\n",
+                 "[--counters]\n"
+                 "          [bench-specific flags]\n",
                  prog);
     std::exit(code);
 }
@@ -51,6 +52,10 @@ benchParseArgs(int argc, char **argv)
             printUsageAndExit(prog, 0);
         if (arg == "--full-scale") {
             setenv("LLCF_FULL_SCALE", "1", 1);
+            continue;
+        }
+        if (arg == "--counters") {
+            setenv("LLCF_COUNTERS", "1", 1);
             continue;
         }
         if (consumeEnvFlag(arg, "--seed", "LLCF_SEED", prog) ||

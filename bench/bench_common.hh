@@ -15,6 +15,7 @@
  *   --threads=<n>    harness worker threads   (LLCF_THREADS)
  *   --json-out=<p>   BENCH_*.json output path (LLCF_JSON_OUT)
  *   --full-scale     paper-scale machines     (LLCF_FULL_SCALE=1)
+ *   --counters       record pc_* PerfCounter metrics (LLCF_COUNTERS=1)
  */
 
 #ifndef LLCF_BENCH_BENCH_COMMON_HH

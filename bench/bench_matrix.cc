@@ -58,7 +58,8 @@ printScenarioRow(const ExperimentResult &result)
 }
 
 int
-benchMain(bool list, bool smoke, const std::string &selection)
+benchMain(bool list, bool smoke, bool scenario_given,
+          const std::string &selection)
 {
     const ScenarioRegistry &reg = builtinScenarios();
     if (list) {
@@ -67,11 +68,21 @@ benchMain(bool list, bool smoke, const std::string &selection)
     }
 
     std::vector<const ScenarioSpec *> specs;
-    if (selection.empty()) {
+    if (!scenario_given) {
         for (const ScenarioSpec &s : reg.all())
             specs.push_back(&s);
-    } else {
+    } else if (!selection.empty()) {
         specs = reg.select(selection);
+    }
+    if (specs.empty()) {
+        // A --scenario selection that names nothing (empty value,
+        // bare commas, ...) must fail loudly rather than write an
+        // empty suite that looks like a passing run.
+        std::fprintf(stderr,
+                     "bench_matrix: no scenarios matched '%s' "
+                     "(try --list)\n",
+                     selection.c_str());
+        return 1;
     }
 
     ExperimentSuite suite("scenarios");
@@ -95,6 +106,7 @@ main(int argc, char **argv)
 {
     bool list = false;
     bool smoke = false;
+    bool scenario_given = false;
     std::string selection;
     std::vector<std::string> unknown;
     for (const std::string &arg : llcf::benchParseArgs(argc, argv)) {
@@ -103,6 +115,7 @@ main(int argc, char **argv)
         } else if (arg == "--smoke") {
             smoke = true;
         } else if (arg.rfind("--scenario=", 0) == 0) {
+            scenario_given = true;
             if (!selection.empty())
                 selection += ',';
             selection += arg.substr(sizeof("--scenario=") - 1);
@@ -116,5 +129,5 @@ main(int argc, char **argv)
                      "--scenario=<name[,name...]> (prefix globs ok)\n");
         return 2;
     }
-    return llcf::benchMain(list, smoke, selection);
+    return llcf::benchMain(list, smoke, scenario_given, selection);
 }

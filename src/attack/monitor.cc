@@ -77,11 +77,14 @@ ParallelMonitor::ParallelMonitor(AttackSession &session,
 
     // Calibrate the all-hit probe duration, then set the detection
     // threshold above its spread but below a memory-level miss.
-    m.parallelStores(core, evset_);
+    const BatchSpec stores{BatchOp::Store, true, -1};
+    const BatchSpec loads{BatchOp::Load, true, -1};
+    m.accessBatch(core, evset_, stores);
     SampleStats baseline;
     for (int i = 0; i < 16; ++i) {
-        m.parallelStores(core, evset_);
-        baseline.add(static_cast<double>(m.parallelLoads(core, evset_)));
+        m.accessBatch(core, evset_, stores);
+        baseline.add(static_cast<double>(
+            m.accessBatch(core, evset_, loads)));
     }
     threshold_ = std::max(baseline.median() + 120.0,
                           baseline.percentile(90.0) + 60.0);
@@ -96,7 +99,7 @@ ParallelMonitor::prime()
     // no replacement-state preparation needed (Section 6.1).
     Cycles total = 0;
     for (int pass = 0; pass < 12; ++pass)
-        total += m.parallelStores(core, evset_);
+        total += m.accessBatch(core, evset_, {BatchOp::Store, true, -1});
     record(primeStats_, total);
     return total;
 }
@@ -106,7 +109,8 @@ ParallelMonitor::probe()
 {
     Machine &m = session_.machine();
     const unsigned core = session_.config().mainCore;
-    const Cycles d = m.parallelLoads(core, evset_);
+    const Cycles d = m.accessBatch(core, evset_,
+                                   {BatchOp::Load, true, -1});
     record(probeStats_, d);
     return {static_cast<double>(d) > threshold_, d};
 }
@@ -124,15 +128,11 @@ PsFlushMonitor::prime()
 {
     Machine &m = session_.machine();
     const unsigned core = session_.config().mainCore;
-    Cycles total = 0;
     // Load, flush, and sequentially reload so the first line ends up
     // as the set's eviction candidate.
-    for (Addr a : evset_)
-        total += m.load(core, a);
-    for (Addr a : evset_)
-        total += m.clflush(core, a);
-    for (Addr a : evset_)
-        total += m.load(core, a);
+    Cycles total = m.accessBatch(core, evset_, {BatchOp::Load});
+    total += m.accessBatch(core, evset_, {BatchOp::Flush});
+    total += m.accessBatch(core, evset_, {BatchOp::Load});
     record(primeStats_, total);
     return total;
 }
@@ -171,9 +171,8 @@ PsAltMonitor::prime()
     // pointer chase; its lines displace the previous set's entries,
     // leaving the first-chased line as the EVC.
     active_ ^= 1;
-    Cycles total = 0;
-    for (Addr a : sets_[active_])
-        total += m.load(core, a);
+    const Cycles total = m.accessBatch(core, sets_[active_],
+                                       {BatchOp::Load});
     record(primeStats_, total);
     return total;
 }

@@ -4,128 +4,88 @@
 
 namespace llcf {
 
+std::size_t
+CacheArray::recordWordsFor(const CacheGeometry &geom, ReplKind repl)
+{
+    const std::size_t repl_bytes = withReplOps(repl, [&](auto ops) {
+        return ops.stateBytes(geom.ways);
+    });
+    const std::size_t meta_bytes = 2 * geom.ways + 1 + repl_bytes;
+    return geom.ways + (meta_bytes + 7) / 8;
+}
+
 CacheArray::CacheArray(const CacheGeometry &geom, ReplKind repl)
-    : geom_(geom), policy_(makeReplPolicy(repl))
+    : geom_(geom), kind_(repl)
 {
     geom_.check();
-    replBytesPerSet_ = policy_->stateBytes(geom_.ways);
-    lines_.resize(static_cast<std::size_t>(geom_.totalSets()) * geom_.ways);
-    replData_.resize(static_cast<std::size_t>(geom_.totalSets()) *
-                     replBytesPerSet_);
+    recordWords_ = recordWordsFor(geom_, kind_);
+    own_.assign(static_cast<std::size_t>(geom_.totalSets()) *
+                    recordWords_,
+                0);
+    base_ = own_.data();
+    strideWords_ = recordWords_;
+    offsetWords_ = 0;
+    initRecords();
+}
+
+CacheArray::CacheArray(const CacheGeometry &geom, ReplKind repl,
+                       Addr *base, std::size_t stride_words,
+                       std::size_t offset_words)
+    : geom_(geom), kind_(repl)
+{
+    geom_.check();
+    recordWords_ = recordWordsFor(geom_, kind_);
+    if (offset_words + recordWords_ > stride_words)
+        panic("cache array record does not fit its placement");
+    base_ = base;
+    strideWords_ = stride_words;
+    offsetWords_ = offset_words;
+    initRecords();
+}
+
+void
+CacheArray::initRecords()
+{
+    replBytesPerSet_ = withReplOps(kind_, [&](auto ops) {
+        return ops.stateBytes(geom_.ways);
+    });
+    validOffset_ = 2 * geom_.ways;
     for (unsigned s = 0; s < geom_.totalSets(); ++s)
-        policy_->reset(replState(s), geom_.ways);
-}
-
-std::uint8_t *
-CacheArray::replState(unsigned set)
-{
-    return replData_.data() + static_cast<std::size_t>(set) *
-           replBytesPerSet_;
-}
-
-const std::uint8_t *
-CacheArray::replState(unsigned set) const
-{
-    return replData_.data() + static_cast<std::size_t>(set) *
-           replBytesPerSet_;
-}
-
-std::optional<unsigned>
-CacheArray::findWay(unsigned set, Addr line_addr) const
-{
-    const CacheLine *base = &lines_[static_cast<std::size_t>(set) *
-                                    geom_.ways];
-    for (unsigned w = 0; w < geom_.ways; ++w) {
-        if (base[w].valid() && base[w].lineAddr == line_addr)
-            return w;
-    }
-    return std::nullopt;
-}
-
-const CacheLine &
-CacheArray::line(unsigned set, unsigned way) const
-{
-    return lines_[static_cast<std::size_t>(set) * geom_.ways + way];
+        resetSet(s);
 }
 
 void
-CacheArray::onHit(unsigned set, unsigned way)
+CacheArray::resetSet(unsigned set)
 {
-    policy_->onHit(replState(set), geom_.ways, way);
-}
-
-FillResult
-CacheArray::fill(unsigned set, const CacheLine &new_line, Rng &rng)
-{
-    CacheLine *base = &lines_[static_cast<std::size_t>(set) * geom_.ways];
-    FillResult res;
-
-    // Fill an invalid way if one exists.
+    Addr *tags = tagsOf(set);
+    std::uint8_t *meta = metaOf(set);
     for (unsigned w = 0; w < geom_.ways; ++w) {
-        if (!base[w].valid()) {
-            base[w] = new_line;
-            res.way = w;
-            policy_->onFill(replState(set), geom_.ways, w);
-            return res;
-        }
+        tags[w] = kInvalidTag;
+        meta[w] = static_cast<std::uint8_t>(CohState::Invalid);
+        meta[geom_.ways + w] = 0;
     }
-
-    // All ways valid: evict the policy victim.
-    const unsigned vic = policy_->victim(replState(set), geom_.ways, rng);
-    res.way = vic;
-    res.evicted = true;
-    res.victim = base[vic];
-    base[vic] = new_line;
-    policy_->onFill(replState(set), geom_.ways, vic);
-    return res;
-}
-
-void
-CacheArray::invalidateWay(unsigned set, unsigned way)
-{
-    lines_[static_cast<std::size_t>(set) * geom_.ways + way] = CacheLine{};
-}
-
-std::optional<CacheLine>
-CacheArray::invalidateLine(unsigned set, Addr line_addr)
-{
-    auto way = findWay(set, line_addr);
-    if (!way)
-        return std::nullopt;
-    CacheLine victim = line(set, *way);
-    invalidateWay(set, *way);
-    return victim;
+    meta[validOffset_] = 0;
+    withReplOps(kind_, [&](auto ops) {
+        ops.reset(replStateIn(meta), geom_.ways);
+    });
 }
 
 void
 CacheArray::setLineState(unsigned set, unsigned way, CohState coh,
                          std::uint8_t owner)
 {
-    CacheLine &l = lines_[static_cast<std::size_t>(set) * geom_.ways + way];
-    if (!l.valid())
+    std::uint8_t *meta = metaOf(set);
+    if (static_cast<CohState>(meta[way]) == CohState::Invalid)
         panic("setLineState on invalid way %u", way);
-    l.coh = coh;
-    l.owner = owner;
-}
-
-unsigned
-CacheArray::validCount(unsigned set) const
-{
-    const CacheLine *base = &lines_[static_cast<std::size_t>(set) *
-                                    geom_.ways];
-    unsigned n = 0;
-    for (unsigned w = 0; w < geom_.ways; ++w)
-        n += base[w].valid() ? 1 : 0;
-    return n;
+    meta[way] = static_cast<std::uint8_t>(coh);
+    meta[geom_.ways + way] = owner;
 }
 
 void
 CacheArray::flushAll()
 {
-    for (auto &l : lines_)
-        l = CacheLine{};
     for (unsigned s = 0; s < geom_.totalSets(); ++s)
-        policy_->reset(replState(s), geom_.ways);
+        resetSet(s);
 }
 
 } // namespace llcf

@@ -10,6 +10,18 @@
  * modelled: Exclusive/Modified lines live in private caches and are
  * tracked by the SF; Shared lines are tracked by (and resident in)
  * the LLC.
+ *
+ * Hot-path layout: each set's whole state — tag words, coherence and
+ * owner bytes, valid count and replacement state — lives in one
+ * contiguous record, and invalid ways carry a sentinel tag no
+ * line-aligned address can equal, so findWay is a straight-line
+ * equality scan over <= W adjacent 8-byte tags with no validity
+ * branch and a fill touches two or three host cache lines total.
+ * Replacement decisions dispatch through the compile-time policy
+ * switch (withReplOps) rather than virtual calls, and the per-access
+ * operations are defined inline here so the Machine's access loop
+ * compiles into one flat function.  Every simulated event is counted
+ * in an allocation-free ArrayCounters (see perf_counters.hh).
  */
 
 #ifndef LLCF_CACHE_CACHE_ARRAY_HH
@@ -19,6 +31,7 @@
 #include <vector>
 
 #include "cache/geometry.hh"
+#include "cache/perf_counters.hh"
 #include "cache/replacement.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
@@ -54,8 +67,9 @@ struct FillResult
 /**
  * A flat array of cache sets with pluggable replacement.
  *
- * All state is stored in contiguous vectors so a 57,344-set LLC costs
- * ~10 MB and a lookup is one indexed scan of <= associativity entries.
+ * All state is stored in contiguous per-set records so a 57,344-set
+ * LLC costs ~10 MB and a lookup is one indexed scan of
+ * <= associativity tags.
  */
 class CacheArray
 {
@@ -66,11 +80,42 @@ class CacheArray
      */
     CacheArray(const CacheGeometry &geom, ReplKind repl);
 
+    /**
+     * Place this array's per-set records inside a caller-owned buffer
+     * instead of self-owned storage: set @p s's record lives at
+     * @p base + s * @p stride_words + @p offset_words.  Lets two
+     * structures that share a set space (the LLC and SF) interleave
+     * their records so one host cache fetch covers both — the miss
+     * path, the flush path and the SF-eviction path all touch the two
+     * structures at the same flat set back to back.  @p base must
+     * hold sets * stride_words words and outlive the array.
+     */
+    CacheArray(const CacheGeometry &geom, ReplKind repl, Addr *base,
+               std::size_t stride_words, std::size_t offset_words);
+
+    /** Words one set's record occupies for @p geom under @p repl. */
+    static std::size_t recordWordsFor(const CacheGeometry &geom,
+                                      ReplKind repl);
+
+    // Copying would leave the copy's record base aliasing (and later
+    // dangling into) the source's buffer; moves transfer the buffer
+    // and stay safe.
+    CacheArray(const CacheArray &) = delete;
+    CacheArray &operator=(const CacheArray &) = delete;
+    CacheArray(CacheArray &&) = default;
+    CacheArray &operator=(CacheArray &&) = default;
+
     /** The geometry this array was built with. */
     const CacheGeometry &geometry() const { return geom_; }
 
     /** Replacement policy kind. */
-    ReplKind replKind() const { return policy_->kind(); }
+    ReplKind replKind() const { return kind_; }
+
+    /** Simulated event counters since construction / resetCounters. */
+    const ArrayCounters &counters() const { return counters_; }
+
+    /** Zero the event counters (cache contents are untouched). */
+    void resetCounters() { counters_ = ArrayCounters{}; }
 
     /** Flat set id from slice and per-slice index. */
     unsigned
@@ -80,51 +125,225 @@ class CacheArray
     }
 
     /**
+     * Hint the host to pull @p set's record into its caches.  The
+     * batched access path prefetches the next element's sets while
+     * the current element is simulated — at Skylake scale the records
+     * live in multi-megabyte tables and the dependent lookups are
+     * host-memory-latency-bound, so the overlap is where the batch
+     * API's throughput comes from.  No simulated effect whatsoever.
+     */
+    void
+    prefetchSet(unsigned set) const
+    {
+        const Addr *tags = tagsOf(set);
+        __builtin_prefetch(tags);
+        // Records span up to ~3 host lines (tags + metadata); touch
+        // the metadata line too for wide geometries.
+        if (geom_.ways > 6)
+            __builtin_prefetch(tags + geom_.ways);
+    }
+
+    /**
      * Find the way holding @p line_addr in @p set.
      * @return way index, or std::nullopt on miss.
      */
-    std::optional<unsigned> findWay(unsigned set, Addr line_addr) const;
+    std::optional<unsigned>
+    findWay(unsigned set, Addr line_addr) const
+    {
+        const Addr *tags = tagsOf(set);
+        for (unsigned w = 0; w < geom_.ways; ++w) {
+            // Invalid ways hold kInvalidTag, which no line-aligned
+            // address equals, so no validity check is needed.
+            if (tags[w] == line_addr)
+                return w;
+        }
+        return std::nullopt;
+    }
 
-    /** Read a line. @pre way < ways */
-    const CacheLine &line(unsigned set, unsigned way) const;
+    /** Read a line's bookkeeping. @pre way < ways */
+    CacheLine
+    line(unsigned set, unsigned way) const
+    {
+        const std::uint8_t *meta = metaOf(set);
+        const CohState coh = static_cast<CohState>(meta[way]);
+        return CacheLine{coh == CohState::Invalid ? 0 : tagsOf(set)[way],
+                         coh, meta[geom_.ways + way]};
+    }
 
     /** Promote @p way on a hit (replacement update only). */
-    void onHit(unsigned set, unsigned way);
+    void
+    onHit(unsigned set, unsigned way)
+    {
+        ++counters_.hits;
+        withReplOps(kind_, [&](auto ops) {
+            ops.onHit(replStateIn(metaOf(set)), geom_.ways, way);
+        });
+    }
 
     /**
      * Insert @p new_line into @p set, filling an invalid way if one
      * exists, otherwise evicting the policy's victim.
      */
-    FillResult fill(unsigned set, const CacheLine &new_line, Rng &rng);
+    FillResult
+    fill(unsigned set, const CacheLine &new_line, Rng &rng)
+    {
+        std::uint8_t *meta = metaOf(set);
+        ++counters_.fills;
+        return withReplOps(kind_, [&](auto ops) {
+            std::uint8_t *st = replStateIn(meta);
+            FillResult res;
+            if (meta[validOffset_] < geom_.ways) {
+                // Fill an invalid way.
+                for (unsigned w = 0; w < geom_.ways; ++w) {
+                    if (static_cast<CohState>(meta[w]) ==
+                        CohState::Invalid) {
+                        writeLine(set, w, new_line);
+                        ++meta[validOffset_];
+                        res.way = w;
+                        ops.onFill(st, geom_.ways, w);
+                        return res;
+                    }
+                }
+            }
+
+            // All ways valid: evict the policy victim (fused
+            // victim-choice + fill-update, one state pass).
+            const unsigned vic = ops.victimAndFill(st, geom_.ways, rng);
+            res.way = vic;
+            res.evicted = true;
+            res.victim = line(set, vic);
+            ++counters_.evictions;
+            writeLine(set, vic, new_line);
+            return res;
+        });
+    }
 
     /** Invalidate a specific way. */
-    void invalidateWay(unsigned set, unsigned way);
+    void
+    invalidateWay(unsigned set, unsigned way)
+    {
+        std::uint8_t *meta = metaOf(set);
+        if (static_cast<CohState>(meta[way]) != CohState::Invalid) {
+            ++counters_.invalidations;
+            --meta[validOffset_];
+        }
+        tagsOf(set)[way] = kInvalidTag;
+        meta[way] = static_cast<std::uint8_t>(CohState::Invalid);
+        meta[geom_.ways + way] = 0;
+    }
 
     /**
      * Invalidate @p line_addr if present.
      * @return the invalidated line, or std::nullopt if absent.
      */
-    std::optional<CacheLine> invalidateLine(unsigned set, Addr line_addr);
+    std::optional<CacheLine>
+    invalidateLine(unsigned set, Addr line_addr)
+    {
+        auto way = findWay(set, line_addr);
+        if (!way)
+            return std::nullopt;
+        CacheLine victim = line(set, *way);
+        invalidateWay(set, *way);
+        return victim;
+    }
 
     /** Update a resident line's coherence state / owner in place. */
     void setLineState(unsigned set, unsigned way, CohState coh,
                       std::uint8_t owner);
 
     /** Number of valid lines in a set. */
-    unsigned validCount(unsigned set) const;
+    unsigned
+    validCount(unsigned set) const
+    {
+        return metaOf(set)[validOffset_];
+    }
 
     /** Invalidate every line and reset replacement state. */
     void flushAll();
 
   private:
-    std::uint8_t *replState(unsigned set);
-    const std::uint8_t *replState(unsigned set) const;
+    /**
+     * Tag stored in invalid ways.  Real tags are line-aligned (low
+     * kLineBits bits clear), so an odd value can never match one and
+     * findWay needs no separate validity test.
+     */
+    static constexpr Addr kInvalidTag = 0x1;
+
+    // ---------------------------------------------- per-set records
+    //
+    // All of a set's state lives in one contiguous record so a fill
+    // touches two or three host cache lines instead of five scattered
+    // vectors (the arrays are multi-megabyte at Skylake scale and the
+    // access pattern is random — host cache misses, not instructions,
+    // bound the simulation there):
+    //
+    //   [ tags: ways x 8B ][ coh: ways ][ owner: ways ][ valid: 1 ]
+    //   [ repl state: replBytesPerSet ]
+    //
+    // Records are sized in 8-byte words so tags stay naturally
+    // aligned; the byte-granular metadata lives behind them and is
+    // accessed through char pointers (always aliasing-legal).
+
+    Addr *
+    tagsOf(unsigned set)
+    {
+        return base_ + static_cast<std::size_t>(set) * strideWords_ +
+               offsetWords_;
+    }
+
+    const Addr *
+    tagsOf(unsigned set) const
+    {
+        return base_ + static_cast<std::size_t>(set) * strideWords_ +
+               offsetWords_;
+    }
+
+    std::uint8_t *
+    metaOf(unsigned set)
+    {
+        return reinterpret_cast<std::uint8_t *>(tagsOf(set) +
+                                                geom_.ways);
+    }
+
+    const std::uint8_t *
+    metaOf(unsigned set) const
+    {
+        return reinterpret_cast<const std::uint8_t *>(tagsOf(set) +
+                                                      geom_.ways);
+    }
+
+    /** Replacement state inside a set's metadata block. */
+    std::uint8_t *
+    replStateIn(std::uint8_t *meta)
+    {
+        return meta + validOffset_ + 1;
+    }
+
+    void
+    writeLine(unsigned set, unsigned way, const CacheLine &l)
+    {
+        tagsOf(set)[way] = l.lineAddr;
+        std::uint8_t *meta = metaOf(set);
+        meta[way] = static_cast<std::uint8_t>(l.coh);
+        meta[geom_.ways + way] = l.owner;
+    }
+
+    /** Reset one set's lines, metadata and replacement state. */
+    void resetSet(unsigned set);
+
+    /** Shared init tail of the two constructors. */
+    void initRecords();
 
     CacheGeometry geom_;
-    std::unique_ptr<ReplPolicy> policy_;
+    ReplKind kind_;
     std::size_t replBytesPerSet_;
-    std::vector<CacheLine> lines_;       //!< [set * ways + way]
-    std::vector<std::uint8_t> replData_; //!< [set * replBytesPerSet]
+    unsigned validOffset_;     //!< valid-count byte index within meta
+    std::size_t recordWords_;  //!< 8-byte words per set record
+    std::vector<Addr> own_;    //!< self-owned storage (may be empty)
+    Addr *base_ = nullptr;     //!< record base (own_ or external)
+    std::size_t strideWords_ = 0; //!< words between consecutive sets
+    std::size_t offsetWords_ = 0; //!< this array's offset in a block
+    ArrayCounters counters_;
 };
 
 } // namespace llcf

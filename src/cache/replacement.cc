@@ -1,6 +1,5 @@
 #include "replacement.hh"
 
-#include "common/log.hh"
 #include "common/options.hh"
 
 namespace llcf {
@@ -33,234 +32,12 @@ parseReplKind(const std::string &name, ReplKind &out)
     return false;
 }
 
-// ---------------------------------------------------------------- LRU
-
-std::size_t
-LruPolicy::stateBytes(unsigned ways) const
-{
-    return ways; // one age byte per way, 0 = MRU
-}
-
-void
-LruPolicy::reset(std::uint8_t *st, unsigned ways) const
-{
-    for (unsigned w = 0; w < ways; ++w)
-        st[w] = static_cast<std::uint8_t>(ways - 1 - w);
-}
-
-void
-LruPolicy::onHit(std::uint8_t *st, unsigned ways, unsigned way) const
-{
-    const std::uint8_t old_age = st[way];
-    for (unsigned w = 0; w < ways; ++w) {
-        if (st[w] < old_age)
-            ++st[w];
-    }
-    st[way] = 0;
-}
-
-void
-LruPolicy::onFill(std::uint8_t *st, unsigned ways, unsigned way) const
-{
-    onHit(st, ways, way);
-}
-
-unsigned
-LruPolicy::victim(std::uint8_t *st, unsigned ways, Rng &rng) const
-{
-    (void)rng;
-    unsigned vic = 0;
-    std::uint8_t oldest = 0;
-    for (unsigned w = 0; w < ways; ++w) {
-        if (st[w] >= oldest) {
-            oldest = st[w];
-            vic = w;
-        }
-    }
-    return vic;
-}
-
-// ----------------------------------------------------------- TreePLRU
-
-namespace {
-
-unsigned
-plruLeaves(unsigned ways)
-{
-    unsigned leaves = 1;
-    while (leaves < ways)
-        leaves <<= 1;
-    return leaves;
-}
-
-} // namespace
-
-std::size_t
-TreePlruPolicy::stateBytes(unsigned ways) const
-{
-    // One byte per node slot of a full binary tree; index 0 unused.
-    return plruLeaves(ways);
-}
-
-void
-TreePlruPolicy::reset(std::uint8_t *st, unsigned ways) const
-{
-    const unsigned n = plruLeaves(ways);
-    for (unsigned i = 0; i < n; ++i)
-        st[i] = 0;
-}
-
-void
-TreePlruPolicy::touch(std::uint8_t *st, unsigned ways, unsigned way) const
-{
-    const unsigned leaves = plruLeaves(ways);
-    // Walk root to leaf, pointing each node away from the touched way.
-    unsigned node = 1;
-    unsigned lo = 0, hi = leaves;
-    while (node < leaves) {
-        unsigned mid = (lo + hi) / 2;
-        if (way < mid) {
-            st[node] = 1; // point at the right (other) side
-            node = node * 2;
-            hi = mid;
-        } else {
-            st[node] = 0;
-            node = node * 2 + 1;
-            lo = mid;
-        }
-    }
-}
-
-void
-TreePlruPolicy::onHit(std::uint8_t *st, unsigned ways, unsigned way) const
-{
-    touch(st, ways, way);
-}
-
-void
-TreePlruPolicy::onFill(std::uint8_t *st, unsigned ways, unsigned way) const
-{
-    touch(st, ways, way);
-}
-
-unsigned
-TreePlruPolicy::victim(std::uint8_t *st, unsigned ways, Rng &rng) const
-{
-    (void)rng;
-    const unsigned leaves = plruLeaves(ways);
-    unsigned node = 1;
-    unsigned lo = 0, hi = leaves;
-    while (node < leaves) {
-        unsigned mid = (lo + hi) / 2;
-        if (st[node]) {
-            node = node * 2 + 1;
-            lo = mid;
-        } else {
-            node = node * 2;
-            hi = mid;
-        }
-    }
-    // With non-power-of-two ways the walk can land past the last way;
-    // clamp (the tree bits still age sensibly).
-    return lo < ways ? lo : ways - 1;
-}
-
-// -------------------------------------------------------------- SRRIP
-
-std::size_t
-SrripPolicy::stateBytes(unsigned ways) const
-{
-    return ways; // one RRPV byte per way
-}
-
-void
-SrripPolicy::reset(std::uint8_t *st, unsigned ways) const
-{
-    for (unsigned w = 0; w < ways; ++w)
-        st[w] = kMaxRrpv;
-}
-
-void
-SrripPolicy::onHit(std::uint8_t *st, unsigned ways, unsigned way) const
-{
-    (void)ways;
-    st[way] = 0; // hit promotion
-}
-
-void
-SrripPolicy::onFill(std::uint8_t *st, unsigned ways, unsigned way) const
-{
-    (void)ways;
-    st[way] = kMaxRrpv - 1; // long re-reference interval on insert
-}
-
-unsigned
-SrripPolicy::victim(std::uint8_t *st, unsigned ways, Rng &rng) const
-{
-    (void)rng;
-    for (;;) {
-        for (unsigned w = 0; w < ways; ++w) {
-            if (st[w] >= kMaxRrpv)
-                return w;
-        }
-        for (unsigned w = 0; w < ways; ++w)
-            ++st[w];
-    }
-}
-
-// ------------------------------------------------------------- Random
-
-std::size_t
-RandomPolicy::stateBytes(unsigned ways) const
-{
-    (void)ways;
-    return 0;
-}
-
-void
-RandomPolicy::reset(std::uint8_t *st, unsigned ways) const
-{
-    (void)st;
-    (void)ways;
-}
-
-void
-RandomPolicy::onHit(std::uint8_t *st, unsigned ways, unsigned way) const
-{
-    (void)st;
-    (void)ways;
-    (void)way;
-}
-
-void
-RandomPolicy::onFill(std::uint8_t *st, unsigned ways, unsigned way) const
-{
-    (void)st;
-    (void)ways;
-    (void)way;
-}
-
-unsigned
-RandomPolicy::victim(std::uint8_t *st, unsigned ways, Rng &rng) const
-{
-    (void)st;
-    return static_cast<unsigned>(rng.nextBelow(ways));
-}
-
 std::unique_ptr<ReplPolicy>
 makeReplPolicy(ReplKind kind)
 {
-    switch (kind) {
-      case ReplKind::LRU:
-        return std::make_unique<LruPolicy>();
-      case ReplKind::TreePLRU:
-        return std::make_unique<TreePlruPolicy>();
-      case ReplKind::SRRIP:
-        return std::make_unique<SrripPolicy>();
-      case ReplKind::Random:
-        return std::make_unique<RandomPolicy>();
-    }
-    panic("unknown replacement kind");
+    return withReplOps(kind, [](auto ops) -> std::unique_ptr<ReplPolicy> {
+        return std::make_unique<ReplPolicyFor<decltype(ops)>>();
+    });
 }
 
 } // namespace llcf

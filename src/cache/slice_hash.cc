@@ -12,16 +12,8 @@ OpaqueSliceHash::OpaqueSliceHash(unsigned n_slices, std::uint64_t salt)
 {
     if (n_slices == 0)
         fatal("slice hash needs at least one slice");
-}
-
-unsigned
-OpaqueSliceHash::slice(Addr pa) const
-{
-    // Hash the line address (all bits above the line offset).  mix64 is
-    // a strong 64-bit finaliser, so every PA bit influences the slice,
-    // matching the attacker-visible behaviour of the real hash.
-    const std::uint64_t h = mix64((pa >> kLineBits) ^ salt_);
-    return static_cast<unsigned>(h % nSlices_);
+    if (n_slices > 1)
+        magic_ = ~std::uint64_t{0} / n_slices; // floor((2^64 - 1) / n)
 }
 
 XorMatrixSliceHash::XorMatrixSliceHash(std::vector<Addr> masks)

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rng.hh"
 #include "common/types.hh"
 
 namespace llcf {
@@ -42,7 +43,7 @@ class SliceHash
  * Keyed pseudo-random slice hash supporting arbitrary slice counts
  * (e.g. the 28-, 26- and 22-slice parts in the paper).
  */
-class OpaqueSliceHash : public SliceHash
+class OpaqueSliceHash final : public SliceHash
 {
   public:
     /**
@@ -52,12 +53,39 @@ class OpaqueSliceHash : public SliceHash
      */
     OpaqueSliceHash(unsigned n_slices, std::uint64_t salt);
 
-    unsigned slice(Addr pa) const override;
+    /**
+     * Non-virtual hot path: the Machine holds this hash by value and
+     * calls it once per simulated access, so the hash plus the
+     * modulo-free reduction below must inline.
+     */
+    unsigned
+    slice(Addr pa) const
+    {
+        // Hash the line address (all bits above the line offset).
+        // mix64 is a strong 64-bit finaliser, so every PA bit
+        // influences the slice, matching the attacker-visible
+        // behaviour of the real hash.
+        const std::uint64_t h = mix64((pa >> kLineBits) ^ salt_);
+        if (nSlices_ == 1)
+            return 0;
+        // Granlund-Montgomery reduction with magic_ ~= 2^64 / n: q is
+        // within two of h / n, so at most two corrections recover
+        // exactly the h % n the modulo operator would produce, without
+        // a hardware divide on the per-access path.
+        const std::uint64_t q = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(h) * magic_) >> 64);
+        std::uint64_t r = h - q * nSlices_;
+        while (r >= nSlices_)
+            r -= nSlices_;
+        return static_cast<unsigned>(r);
+    }
+
     unsigned slices() const override { return nSlices_; }
 
   private:
     unsigned nSlices_;
     std::uint64_t salt_;
+    std::uint64_t magic_ = 0; //!< floor(2^64 / nSlices_) for nSlices_ > 1
 };
 
 /**

@@ -62,6 +62,12 @@ fullScale()
     return envBool("LLCF_FULL_SCALE", false);
 }
 
+bool
+countersEnabled()
+{
+    return envBool("LLCF_COUNTERS", false);
+}
+
 std::uint64_t
 baseSeed()
 {

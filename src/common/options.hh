@@ -40,6 +40,13 @@ bool equalsIgnoreCase(const std::string &a, const std::string &b);
 /** True iff LLCF_FULL_SCALE requests full paper-scale experiments. */
 bool fullScale();
 
+/**
+ * True iff LLCF_COUNTERS asks experiment trials to record the
+ * hierarchy PerfCounters as metrics.  Off by default so existing
+ * BENCH_*.json outputs keep their exact historical byte content.
+ */
+bool countersEnabled();
+
 /** Base experiment seed from LLCF_SEED (default 42). */
 std::uint64_t baseSeed();
 

@@ -18,10 +18,21 @@
 namespace llcf {
 
 /** One step of the SplitMix64 stream; also usable as a mixing hash. */
-std::uint64_t splitmix64(std::uint64_t &state);
+inline std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
 
 /** Stateless SplitMix64 finaliser: hash a 64-bit value. */
-std::uint64_t mix64(std::uint64_t v);
+inline std::uint64_t
+mix64(std::uint64_t v)
+{
+    return splitmix64(v);
+}
 
 /**
  * Seed of the @p stream-th independent child stream of @p master.
@@ -49,19 +60,59 @@ class Rng
     static Rng forStream(std::uint64_t master, std::uint64_t stream);
 
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+
+        return result;
+    }
 
     /** Uniform integer in [0, bound), bias-corrected. @pre bound > 0 */
-    std::uint64_t nextBelow(std::uint64_t bound);
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        // Lemire-style rejection to remove modulo bias.
+        std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
 
     /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
-    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+    std::uint64_t
+    nextRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + nextBelow(hi - lo + 1);
+    }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** True with probability @p p (clamped to [0,1]). */
-    bool nextBool(double p);
+    bool
+    nextBool(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return nextDouble() < p;
+    }
 
     /** Exponentially distributed value with the given mean. */
     double nextExponential(double mean);
@@ -95,6 +146,12 @@ class Rng
     }
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
 
     /** Cached second Box-Muller deviate. */

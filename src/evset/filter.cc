@@ -57,10 +57,10 @@ CandidateFilter::filter(const std::vector<Addr> &l2_evset,
         }
         // Flush the working set so every access is a fresh L2 fill
         // (see AttackSession::testEvictionLlcParallel).
-        m.clflushMany(core, l2_evset);
+        m.accessBatch(core, l2_evset, {BatchOp::Flush, true, -1});
         m.clflush(core, a);
         m.load(core, a);
-        m.parallelLoads(core, l2_evset);
+        m.accessBatch(core, l2_evset, {BatchOp::Load, true, -1});
         if (session_.probePrivateMiss(a))
             kept.push_back(a);
     }

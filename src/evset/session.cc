@@ -33,11 +33,13 @@ AttackSession::testEvictionLlcParallel(Addr ta, std::span<const Addr> cands,
     // path; see DESIGN.md.  The flush pass is throughput-bound and
     // cheap relative to the traversal.
     ++testCount_;
-    machine_.clflushMany(cfg_.mainCore, cands.subspan(0, n));
+    machine_.accessBatch(cfg_.mainCore, cands.subspan(0, n),
+                         {BatchOp::Flush, true, -1});
     machine_.clflush(cfg_.mainCore, ta);
     machine_.loadShared(cfg_.mainCore, cfg_.helperCore, ta);
-    machine_.parallelLoadsShared(cfg_.mainCore, cfg_.helperCore,
-                                 cands.subspan(0, n));
+    machine_.accessBatch(cfg_.mainCore, cands.subspan(0, n),
+                         {BatchOp::Load, true,
+                          static_cast<int>(cfg_.helperCore)});
     return probeLlcMiss(ta);
 }
 
@@ -53,10 +55,11 @@ AttackSession::testEvictionSfParallel(Addr ta, std::span<const Addr> cands,
     // the same way between trials.
     ++testCount_;
     machine_.clflush(cfg_.mainCore, ta);
-    for (std::size_t i = 0; i < n; ++i)
-        machine_.clflush(cfg_.mainCore, cands[i]);
+    machine_.accessBatch(cfg_.mainCore, cands.subspan(0, n),
+                         {BatchOp::Flush, false, -1});
     machine_.store(cfg_.mainCore, ta);
-    machine_.parallelStores(cfg_.mainCore, cands.subspan(0, n));
+    machine_.accessBatch(cfg_.mainCore, cands.subspan(0, n),
+                         {BatchOp::Store, true, -1});
     return probePrivateMiss(ta);
 }
 
@@ -65,10 +68,12 @@ AttackSession::testEvictionL2Parallel(Addr ta, std::span<const Addr> cands,
                                       std::size_t n)
 {
     ++testCount_;
-    machine_.clflushMany(cfg_.mainCore, cands.subspan(0, n));
+    machine_.accessBatch(cfg_.mainCore, cands.subspan(0, n),
+                         {BatchOp::Flush, true, -1});
     machine_.clflush(cfg_.mainCore, ta);
     machine_.load(cfg_.mainCore, ta);
-    machine_.parallelLoads(cfg_.mainCore, cands.subspan(0, n));
+    machine_.accessBatch(cfg_.mainCore, cands.subspan(0, n),
+                         {BatchOp::Load, true, -1});
     return probePrivateMiss(ta);
 }
 

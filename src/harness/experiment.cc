@@ -134,6 +134,12 @@ ExperimentSuite::ExperimentSuite(std::string bench)
 }
 
 void
+ExperimentSuite::contextValue(std::string key, double v)
+{
+    contextValues_.emplace_back(std::move(key), v);
+}
+
+void
 ExperimentSuite::add(ExperimentResult result)
 {
     results_.push_back(std::move(result));
@@ -148,6 +154,8 @@ ExperimentSuite::toJson() const
     w.member("bench", bench_);
     w.member("base_seed", baseSeed());
     w.member("full_scale", fullScale());
+    for (const auto &[key, v] : contextValues_)
+        w.member(key, v);
     w.endObject();
     w.key("benchmarks").beginArray();
     for (const auto &r : results_)

@@ -151,6 +151,13 @@ class ExperimentSuite
     /** @param bench Bench identifier, e.g. "table4". */
     explicit ExperimentSuite(std::string bench);
 
+    /**
+     * Add a numeric entry to the suite's "context" object (e.g. the
+     * tolerance a regression gate applies to this suite's metrics).
+     * Rendered after the standard context members, in insertion order.
+     */
+    void contextValue(std::string key, double v);
+
     /** Append one result (rendered in insertion order). */
     void add(ExperimentResult result);
 
@@ -168,6 +175,7 @@ class ExperimentSuite
 
   private:
     std::string bench_;
+    std::vector<std::pair<std::string, double>> contextValues_;
     std::vector<ExperimentResult> results_;
 };
 

@@ -1,8 +1,10 @@
 #include "json.hh"
 
+#include <cctype>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/log.hh"
 
@@ -214,6 +216,312 @@ JsonWriter::str() const
     if (!stack_.empty())
         panic("JsonWriter: document has unclosed containers");
     return out_;
+}
+
+// ------------------------------------------------------------ parsing
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        panic("JsonValue: asNumber on non-number");
+    return num_;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        panic("JsonValue: asBool on non-bool");
+    return bool_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        panic("JsonValue: asString on non-string");
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (kind_ != Kind::Array)
+        panic("JsonValue: items on non-array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        panic("JsonValue: members on non-object");
+    return members_;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+/**
+ * Recursive-descent parser over the JSON subset the deterministic
+ * writer emits (which is plain standard JSON; no extensions).
+ */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    bool
+    parse(JsonValue &out, std::string *error)
+    {
+        bool ok = parseValue(out) && (skipWs(), pos_ == text_.size());
+        if (!ok && error) {
+            *error = "JSON parse error near offset " +
+                     std::to_string(pos_) + ": " + err_;
+        }
+        return ok;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    fail(const char *what)
+    {
+        if (err_.empty())
+            err_ = what;
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("unknown literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // The writer only escapes control characters, which
+                // are single-byte; encode the general case as UTF-8.
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return fail("expected number");
+        const std::string token(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("malformed number");
+        out.kind_ = JsonValue::Kind::Number;
+        out.num_ = v;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind_ = JsonValue::Kind::Object;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_++] != ':')
+                    return fail("expected ':'");
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.members_.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                const char d = text_[pos_++];
+                if (d == '}')
+                    return true;
+                if (d != ',')
+                    return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind_ = JsonValue::Kind::Array;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.items_.push_back(std::move(v));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                const char d = text_[pos_++];
+                if (d == ']')
+                    return true;
+                if (d != ',')
+                    return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            std::string str;
+            if (!parseString(str))
+                return false;
+            out.kind_ = JsonValue::Kind::String;
+            out.str_ = std::move(str);
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return false;
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = true;
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return false;
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = false;
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return false;
+            out.kind_ = JsonValue::Kind::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string err_;
+};
+
+bool
+parseJson(std::string_view text, JsonValue &out, std::string *error)
+{
+    out = JsonValue{};
+    return JsonParser(text).parse(out, error);
 }
 
 } // namespace llcf

@@ -73,6 +73,77 @@ class JsonWriter
     bool keyPending_ = false;
 };
 
+/**
+ * A parsed JSON value.  Object members preserve document order, the
+ * property the deterministic writer above guarantees, so a
+ * write-parse round trip is order-faithful.  Used by the perf gate
+ * (bench_hotpath --smoke) to read checked-in BENCH_*.json baselines.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+
+    /** Numeric value. @pre isNumber() (panics otherwise) */
+    double asNumber() const;
+
+    /** Boolean value. @pre kind() == Bool */
+    bool asBool() const;
+
+    /** String value. @pre kind() == String */
+    const std::string &asString() const;
+
+    /** Array elements. @pre isArray() */
+    const std::vector<JsonValue> &items() const;
+
+    /** Object members in document order. @pre isObject() */
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    /** Object member by key, or nullptr. @pre isObject() */
+    const JsonValue *find(std::string_view key) const;
+
+    /**
+     * Walk a path of object keys, e.g. find("metrics", "mean").
+     * Returns nullptr as soon as a key is missing or a non-object is
+     * traversed.
+     */
+    template <typename... Rest>
+    const JsonValue *
+    find(std::string_view key, Rest... rest) const
+    {
+        const JsonValue *v = find(key);
+        return v ? v->find(rest...) : nullptr;
+    }
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse a complete JSON document (object/array/scalar with only
+ * trailing whitespace after it).
+ *
+ * @return true and fills @p out on success; false and fills @p error
+ *         (when non-null) with a position-annotated message otherwise.
+ */
+bool parseJson(std::string_view text, JsonValue &out,
+               std::string *error = nullptr);
+
 /** JSON string escaping (control chars, quote, backslash). */
 std::string jsonEscape(std::string_view s);
 

@@ -2,6 +2,7 @@
 
 #include "attack/e2e.hh"
 #include "common/log.hh"
+#include "common/options.hh"
 #include "common/rng.hh"
 
 namespace llcf {
@@ -33,6 +34,14 @@ trainClassifier(const ScenarioSpec &spec, ScenarioRig &rig,
     return classifier;
 }
 
+/** Counters hook shared by the trial bodies (opt-in via env). */
+void
+maybeRecordCounters(const ScenarioRig &rig, TrialRecorder &rec)
+{
+    if (countersEnabled())
+        recordPerfCounters(rec, rig.machine.perfCounters());
+}
+
 void
 runEvsetBuildTrial(const ScenarioSpec &spec, TrialContext &ctx,
                    TrialRecorder &rec)
@@ -49,6 +58,7 @@ runEvsetBuildTrial(const ScenarioSpec &spec, TrialContext &ctx,
     rec.outcome("success", out.success && out.groundTruthValid);
     rec.metric("build_cycles", static_cast<double>(out.elapsed));
     rec.metric("attempts", static_cast<double>(out.attempts));
+    maybeRecordCounters(rig, rec);
 }
 
 void
@@ -84,6 +94,7 @@ runScanTrial(const ScenarioSpec &spec, TrialContext &ctx,
                 res.found &&
                     m.sharedSetOf(bulk.evsets[res.evsetIndex].target) ==
                         m.sharedSetOf(victim.targetLinePa()));
+    maybeRecordCounters(rig, rec);
 }
 
 void
@@ -117,6 +128,7 @@ runEndToEndTrial(const ScenarioSpec &spec, TrialContext &ctx,
         rec.metric("recovered_fraction", v);
     for (double v : res.bitErrorRate.samples())
         rec.metric("bit_error_rate", v);
+    maybeRecordCounters(rig, rec);
 }
 
 } // namespace
@@ -213,6 +225,27 @@ runScenarioTrial(const ScenarioSpec &spec, TrialContext &ctx,
         return;
     }
     fatal("scenario '%s': unknown stage", spec.name.c_str());
+}
+
+void
+recordPerfCounters(TrialRecorder &rec, const PerfCounters &pc)
+{
+    rec.metric("pc_accesses", static_cast<double>(pc.accesses));
+    rec.metric("pc_hits", static_cast<double>(pc.hits));
+    rec.metric("pc_misses", static_cast<double>(pc.misses));
+    rec.metric("pc_l1_evictions", static_cast<double>(pc.l1.evictions));
+    rec.metric("pc_l2_evictions", static_cast<double>(pc.l2.evictions));
+    rec.metric("pc_llc_evictions",
+               static_cast<double>(pc.llc.evictions));
+    rec.metric("pc_sf_evictions", static_cast<double>(pc.sf.evictions));
+    rec.metric("pc_coh_downgrades",
+               static_cast<double>(pc.cohDowngrades));
+    rec.metric("pc_sim_cycles", static_cast<double>(pc.simCycles));
+    if (pc.accesses) {
+        rec.metric("pc_cycles_per_access",
+                   static_cast<double>(pc.simCycles) /
+                       static_cast<double>(pc.accesses));
+    }
 }
 
 ExperimentResult

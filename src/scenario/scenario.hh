@@ -129,6 +129,15 @@ ExperimentResult runScenario(const ScenarioSpec &spec,
                              std::size_t trials = 0, unsigned threads = 0,
                              std::uint64_t masterSeed = 42);
 
+/**
+ * Record one trial's hierarchy PerfCounters under the canonical
+ * "pc_*" metric names (accesses, hit/miss split, LLC/SF evictions,
+ * coherence downgrades, simulated cycles and cycles-per-access).
+ * Scenario trials call this when LLCF_COUNTERS is set (see
+ * countersEnabled()); bench_hotpath records them unconditionally.
+ */
+void recordPerfCounters(TrialRecorder &rec, const PerfCounters &pc);
+
 } // namespace llcf
 
 #endif // LLCF_SCENARIO_SCENARIO_HH

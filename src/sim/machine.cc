@@ -7,6 +7,18 @@
 
 namespace llcf {
 
+namespace {
+
+/** Words per interleaved [sf | llc] shared-set record block. */
+std::size_t
+sharedBlockWords(const MachineConfig &cfg)
+{
+    return CacheArray::recordWordsFor(cfg.sf, cfg.sfRepl) +
+           CacheArray::recordWordsFor(cfg.llc, cfg.llcRepl);
+}
+
+} // namespace
+
 Machine::Machine(const MachineConfig &cfg, const NoiseProfile &noise,
                  std::uint64_t seed)
     : cfg_(cfg),
@@ -14,10 +26,17 @@ Machine::Machine(const MachineConfig &cfg, const NoiseProfile &noise,
       rng_(mix64(seed ^ 0x6d61636869ULL)),
       jitterRng_(mix64(seed + 0x7ea5)),
       allocator_(cfg.physFrames, Rng(mix64(seed + 0xa110c))),
-      sliceHash_(makeOpaqueSliceHash(cfg.llc.slices,
-                                     cfg.sliceSalt ^ mix64(seed))),
-      llc_(cfg.llc, cfg.llcRepl),
-      sf_(cfg.sf, cfg.sfRepl)
+      sliceHash_(cfg.llc.slices, cfg.sliceSalt ^ mix64(seed)),
+      sharedRecords_(static_cast<std::size_t>(
+                         std::max(cfg.llc.totalSets(),
+                                  cfg.sf.totalSets())) *
+                         sharedBlockWords(cfg),
+                     0),
+      llc_(cfg.llc, cfg.llcRepl, sharedRecords_.data(),
+           sharedBlockWords(cfg),
+           CacheArray::recordWordsFor(cfg.sf, cfg.sfRepl)),
+      sf_(cfg.sf, cfg.sfRepl, sharedRecords_.data(),
+          sharedBlockWords(cfg), 0)
 {
     cfg_.check();
     l1_.reserve(cfg_.cores);
@@ -29,6 +48,12 @@ Machine::Machine(const MachineConfig &cfg, const NoiseProfile &noise,
     lastSync_.assign(totalSharedSets(), 0);
     hasStream_.assign(totalSharedSets(), 0);
     noisePerCycle_ = noise_.accessesPerSetPerCycle();
+    updateQuiescent();
+    // Batch prefetch hints only pay for themselves once the shared
+    // records outgrow a typical host L2 (the tables then miss in the
+    // host cache and the access loop is memory-latency-bound).
+    prefetchRecords_ = sharedRecords_.size() * sizeof(Addr) >=
+                       (1u << 19);
 }
 
 std::unique_ptr<AddressSpace>
@@ -42,7 +67,7 @@ Machine::newAddressSpace()
 unsigned
 Machine::sliceOf(Addr pa) const
 {
-    return sliceHash_->slice(lineAlign(pa));
+    return sliceHash_.slice(lineAlign(pa));
 }
 
 unsigned
@@ -134,8 +159,10 @@ Machine::finishOp(double duration)
 void
 Machine::dropPrivate(unsigned core, Addr line)
 {
-    l1_[core].invalidateLine(cfg_.l1.setIndex(line), line);
-    l2_[core].invalidateLine(cfg_.l2.setIndex(line), line);
+    // L1 is kept inclusive in L2, so the L1 scan is only needed when
+    // the line was actually L2-resident.
+    if (l2_[core].invalidateLine(cfg_.l2.setIndex(line), line))
+        l1_[core].invalidateLine(cfg_.l1.setIndex(line), line);
 }
 
 void
@@ -241,6 +268,8 @@ Machine::noiseTouch(unsigned s)
 void
 Machine::syncSharedSet(unsigned s)
 {
+    if (quiescent_)
+        return; // provably no effect; see the flag's definition
     const Cycles t = clock_;
     const Cycles last = lastSync_[s];
     if (t <= last)
@@ -288,9 +317,17 @@ Machine::syncSharedSet(unsigned s)
 Machine::AccessOutcome
 Machine::accessLine(unsigned core, Addr line, bool is_store, bool probe)
 {
+    // Sentinel for "shared set not resolved yet" (real ids are far
+    // smaller); on quiescent machines the slice hash is deferred
+    // until an access actually reaches the shared structures.
+    constexpr unsigned kUnresolved = ~0u;
+
     line = lineAlign(line);
-    const unsigned s = sharedSetOf(line);
-    syncSharedSet(s);
+    unsigned s = kUnresolved;
+    if (!quiescent_) {
+        s = sharedSetOf(line);
+        syncSharedSet(s);
+    }
 
     if (is_store)
         ++stats_.stores;
@@ -303,12 +340,11 @@ Machine::accessLine(unsigned core, Addr line, bool is_store, bool probe)
     if (auto w = l1.findWay(l1s, line)) {
         if (is_store && l1.line(l1s, *w).coh == CohState::Shared) {
             upgradeToModified(core, line);
-            return {effLatency(HitLevel::SfTransfer),
-                    HitLevel::SfTransfer};
+            return serve(HitLevel::SfTransfer);
         }
         l1.onHit(l1s, *w);
         ++stats_.l1Hits;
-        return {effLatency(HitLevel::L1), HitLevel::L1};
+        return serve(HitLevel::L1);
     }
 
     // L2.
@@ -318,16 +354,20 @@ Machine::accessLine(unsigned core, Addr line, bool is_store, bool probe)
         const CohState coh = l2.line(l2s, *w).coh;
         if (is_store && coh == CohState::Shared) {
             upgradeToModified(core, line);
-            return {effLatency(HitLevel::SfTransfer),
-                    HitLevel::SfTransfer};
+            return serve(HitLevel::SfTransfer);
         }
         l2.onHit(l2s, *w);
         // Refill L1 (kept inclusive); the L1 victim stays in L2.
         l1.fill(l1s, CacheLine{line, coh,
                 static_cast<std::uint8_t>(core)}, rng_);
         ++stats_.l2Hits;
-        return {effLatency(HitLevel::L2), HitLevel::L2};
+        return serve(HitLevel::L2);
     }
+
+    // Shared structures from here on: resolve the set if the
+    // quiescent fast path deferred it.
+    if (s == kUnresolved)
+        s = sharedSetOf(line);
 
     // Snoop filter: the line is private to some core.
     if (auto w = sf_.findWay(s, line)) {
@@ -342,11 +382,11 @@ Machine::accessLine(unsigned core, Addr line, bool is_store, bool probe)
                              static_cast<std::uint8_t>(core));
             sf_.onHit(s, *w);
             fillPrivate(core, line, CohState::Modified);
-            return {effLatency(HitLevel::SfTransfer),
-                    HitLevel::SfTransfer};
+            return serve(HitLevel::SfTransfer);
         }
         // Load hit on a private line: transition to Shared.  The line
         // moves into the LLC and its SF entry is freed (Section 2.3).
+        ++perf_.cohDowngrades;
         if (owner != core && owner != kNoiseOwner) {
             const unsigned ol1 = cfg_.l1.setIndex(line);
             const unsigned ol2 = cfg_.l2.setIndex(line);
@@ -363,7 +403,7 @@ Machine::accessLine(unsigned core, Addr line, bool is_store, bool probe)
         llcInsert(s, CacheLine{line, CohState::Shared,
                                static_cast<std::uint8_t>(core)});
         fillPrivate(core, line, CohState::Shared);
-        return {effLatency(HitLevel::SfTransfer), HitLevel::SfTransfer};
+        return serve(HitLevel::SfTransfer);
     }
 
     // LLC.
@@ -376,12 +416,12 @@ Machine::accessLine(unsigned core, Addr line, bool is_store, bool probe)
             sfAllocate(s, CacheLine{line, CohState::Modified,
                                     static_cast<std::uint8_t>(core)});
             fillPrivate(core, line, CohState::Modified);
-            return {effLatency(HitLevel::Llc), HitLevel::Llc};
+            return serve(HitLevel::Llc);
         }
         if (probe) {
             // Scope probe: observe without disturbing LLC state.
             fillPrivate(core, line, CohState::Shared);
-            return {effLatency(HitLevel::Llc), HitLevel::Llc};
+            return serve(HitLevel::Llc);
         }
         // Does any other core still hold a Shared copy?
         bool other_sharer = false;
@@ -407,7 +447,7 @@ Machine::accessLine(unsigned core, Addr line, bool is_store, bool probe)
                                     static_cast<std::uint8_t>(core)});
             fillPrivate(core, line, CohState::Exclusive);
         }
-        return {effLatency(HitLevel::Llc), HitLevel::Llc};
+        return serve(HitLevel::Llc);
     }
 
     // Memory.
@@ -416,7 +456,7 @@ Machine::accessLine(unsigned core, Addr line, bool is_store, bool probe)
                                   : CohState::Exclusive;
     sfAllocate(s, CacheLine{line, coh, static_cast<std::uint8_t>(core)});
     fillPrivate(core, line, coh);
-    return {effLatency(HitLevel::Dram), HitLevel::Dram};
+    return serve(HitLevel::Dram);
 }
 
 // -------------------------------------------------------- public ops
@@ -471,8 +511,8 @@ constexpr std::size_t kBurstChunk = 128;
 } // namespace
 
 Cycles
-Machine::parallelAccess(unsigned core, std::span<const Addr> pas,
-                        bool is_store, int helper)
+Machine::overlappedAccess(unsigned core, std::span<const Addr> pas,
+                          bool is_store, int helper)
 {
     Cycles total = 0;
     bool first = true;
@@ -480,6 +520,8 @@ Machine::parallelAccess(unsigned core, std::span<const Addr> pas,
         const std::size_t end = std::min(pas.size(), base + kBurstChunk);
         double max_lat = 0.0, thr_sum = 0.0;
         for (std::size_t i = base; i < end; ++i) {
+            if (i + 1 < pas.size())
+                prefetchLine(core, pas[i + 1]);
             AccessOutcome out = accessLine(core, pas[i], is_store);
             if (helper >= 0)
                 accessLine(static_cast<unsigned>(helper), pas[i],
@@ -499,57 +541,122 @@ Machine::parallelAccess(unsigned core, std::span<const Addr> pas,
     return total;
 }
 
-Cycles
-Machine::parallelLoads(unsigned core, std::span<const Addr> pas)
+void
+Machine::flushLineNow(Addr line)
 {
-    return parallelAccess(core, pas, false, -1);
-}
-
-Cycles
-Machine::parallelStores(unsigned core, std::span<const Addr> pas)
-{
-    return parallelAccess(core, pas, true, -1);
-}
-
-Cycles
-Machine::parallelLoadsShared(unsigned core, unsigned helper,
-                             std::span<const Addr> pas)
-{
-    return parallelAccess(core, pas, false, static_cast<int>(helper));
-}
-
-Cycles
-Machine::clflush(unsigned core, Addr pa)
-{
-    (void)core;
-    const Addr line = lineAlign(pa);
     const unsigned s = sharedSetOf(line);
     syncSharedSet(s);
-    dropAllPrivate(line);
-    sf_.invalidateLine(s, line);
-    llc_.invalidateLine(s, line);
-    return finishOp(cfg_.timing.clflushCost);
+    // A line resident in any private cache is either E/M — tracked by
+    // an SF entry naming its single owner — or Shared and tracked by
+    // the LLC (see DESIGN.md).  The shared-structure lookups therefore
+    // bound which private caches can hold copies, saving the
+    // two-per-core private scans of the general case.
+    const auto sfv = sf_.invalidateLine(s, line);
+    const auto llcv = llc_.invalidateLine(s, line);
+    if (sfv) {
+        if (sfv->owner != kNoiseOwner)
+            dropPrivate(sfv->owner, line);
+    } else if (llcv) {
+        dropAllPrivate(line);
+    }
 }
 
 Cycles
-Machine::clflushMany(unsigned core, std::span<const Addr> pas)
+Machine::overlappedFlush(unsigned core, std::span<const Addr> pas)
 {
     (void)core;
     Cycles total = 0;
     for (std::size_t base = 0; base < pas.size(); base += kBurstChunk) {
         const std::size_t end = std::min(pas.size(), base + kBurstChunk);
         for (std::size_t i = base; i < end; ++i) {
-            const Addr line = lineAlign(pas[i]);
-            const unsigned s = sharedSetOf(line);
-            syncSharedSet(s);
-            dropAllPrivate(line);
-            sf_.invalidateLine(s, line);
-            llc_.invalidateLine(s, line);
+            // Flush steps are short, so lead two elements for the
+            // prefetch to complete in time.
+            if (i + 2 < pas.size())
+                prefetchLine(core, pas[i + 2]);
+            flushLineNow(lineAlign(pas[i]));
         }
         total += finishOp(static_cast<double>(end - base) *
                           cfg_.timing.clflushThroughput);
     }
     return total;
+}
+
+Cycles
+Machine::clflush(unsigned core, Addr pa)
+{
+    (void)core;
+    flushLineNow(lineAlign(pa));
+    return finishOp(cfg_.timing.clflushCost);
+}
+
+Cycles
+Machine::accessBatch(unsigned core, std::span<const Addr> pas,
+                     const BatchSpec &spec)
+{
+    if (spec.overlapped) {
+        switch (spec.op) {
+          case BatchOp::Load:
+            return overlappedAccess(core, pas, false, spec.helper);
+          case BatchOp::Store:
+            return overlappedAccess(core, pas, true, spec.helper);
+          case BatchOp::Flush:
+            return overlappedFlush(core, pas);
+          default:
+            panic("accessBatch: only Load/Store/Flush overlap");
+        }
+    }
+    // Sequential sweeps: element-for-element equivalent to the scalar
+    // operations (same RNG draws, same clock advance per element).
+    // The next element's records are prefetched while the current one
+    // is simulated — the batch API's host-side pipelining.
+    const auto sweep = [&](auto op) {
+        Cycles total = 0;
+        for (std::size_t i = 0; i < pas.size(); ++i) {
+            if (i + 1 < pas.size())
+                prefetchLine(core, pas[i + 1]);
+            total += op(pas[i]);
+        }
+        return total;
+    };
+    switch (spec.op) {
+      case BatchOp::Load:
+        if (spec.helper >= 0) {
+            const unsigned helper =
+                static_cast<unsigned>(spec.helper);
+            return sweep([&](Addr pa) {
+                return loadShared(core, helper, pa);
+            });
+        }
+        return sweep([&](Addr pa) { return load(core, pa); });
+      case BatchOp::Store:
+        return sweep([&](Addr pa) { return store(core, pa); });
+      case BatchOp::TimedLoad:
+        return sweep([&](Addr pa) { return timedLoad(core, pa); });
+      case BatchOp::ChaseLoad:
+        return sweep([&](Addr pa) { return chaseLoad(core, pa); });
+      case BatchOp::ProbeLoad:
+        return sweep([&](Addr pa) { return probeLoad(core, pa); });
+      case BatchOp::Flush:
+        return sweep([&](Addr pa) { return clflush(core, pa); });
+    }
+    panic("accessBatch: unknown op");
+}
+
+PerfCounters
+Machine::perfCounters() const
+{
+    PerfCounters pc = perf_;
+    for (const CacheArray &a : l1_)
+        pc.l1 += a.counters();
+    for (const CacheArray &a : l2_)
+        pc.l2 += a.counters();
+    pc.llc = llc_.counters();
+    pc.sf = sf_.counters();
+    pc.accesses = stats_.loads + stats_.stores;
+    pc.misses = stats_.dramFills;
+    pc.hits = pc.accesses - pc.misses;
+    pc.simCycles = clock_;
+    return pc;
 }
 
 // ----------------------------------------------------------- streams
@@ -561,6 +668,7 @@ Machine::addStream(unsigned core, Addr pa, std::vector<Cycles> times,
     if (core >= cfg_.cores)
         fatal("stream core %u out of range", core);
     std::sort(times.begin(), times.end());
+    quiescent_ = false; // stream replay must run from now on
     Stream st;
     st.id = nextStreamId_++;
     st.core = core;
@@ -591,6 +699,7 @@ Machine::clearStreams()
     streams_.clear();
     setStreams_.clear();
     std::fill(hasStream_.begin(), hasStream_.end(), 0);
+    updateQuiescent();
 }
 
 } // namespace llcf

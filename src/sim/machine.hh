@@ -48,6 +48,30 @@
 
 namespace llcf {
 
+/** Operation applied to every element of a batched access. */
+enum class BatchOp : std::uint8_t {
+    Load,      //!< plain demand load
+    Store,     //!< store with RFO semantics
+    TimedLoad, //!< fenced rdtscp-timed load
+    ChaseLoad, //!< dependent pointer-chase load
+    ProbeLoad, //!< non-promoting timed probe
+    Flush,     //!< clflush from every cache level
+};
+
+/**
+ * Shape of one batched access sweep.  A sequential batch is exactly
+ * equivalent to issuing the scalar operation per element (same RNG
+ * draws, same clock advance — the equivalence the harness tests
+ * assert); an overlapped batch has MLP burst semantics and is only
+ * meaningful for Load/Store/Flush.
+ */
+struct BatchSpec
+{
+    BatchOp op = BatchOp::Load;
+    bool overlapped = false; //!< MLP burst instead of serialised ops
+    int helper = -1;         //!< helper core repeating each load, or -1
+};
+
 /** Aggregate event counters, for tests and diagnostics. */
 struct MachineStats
 {
@@ -88,6 +112,14 @@ class Machine
 
     /** Event counters. */
     const MachineStats &stats() const { return stats_; }
+
+    /**
+     * Snapshot of the allocation-free hierarchy counters: per-structure
+     * hits/fills/evictions (L1/L2 summed over cores), access and
+     * service-level totals, coherence downgrades and simulated cycles.
+     * Purely simulated events — deterministic for a fixed seed.
+     */
+    PerfCounters perfCounters() const;
 
     /** Backing physical frame allocator. */
     PageAllocator &allocator() { return allocator_; }
@@ -142,18 +174,41 @@ class Machine
     Cycles loadShared(unsigned core, unsigned helper, Addr pa);
 
     /**
-     * Overlapped (MLP) loads of @p pas; returns the burst duration.
-     * Long bursts are chunked internally so background activity
-     * interleaves realistically.
+     * Batched accesses: apply @p spec to every element of @p pas and
+     * return the total duration.  This is the preferred hot-path entry
+     * point — the TestEviction traversals, probe sweeps and monitors
+     * all run on it — and the scalar operations above are equivalent
+     * to a one-element batch.  Overlapped batches are chunked
+     * internally so background activity interleaves realistically.
      */
-    Cycles parallelLoads(unsigned core, std::span<const Addr> pas);
+    Cycles accessBatch(unsigned core, std::span<const Addr> pas,
+                       const BatchSpec &spec);
+
+    /**
+     * Overlapped (MLP) loads of @p pas; returns the burst duration.
+     */
+    Cycles
+    parallelLoads(unsigned core, std::span<const Addr> pas)
+    {
+        return accessBatch(core, pas, {BatchOp::Load, true, -1});
+    }
 
     /** Overlapped stores (RFO) of @p pas. */
-    Cycles parallelStores(unsigned core, std::span<const Addr> pas);
+    Cycles
+    parallelStores(unsigned core, std::span<const Addr> pas)
+    {
+        return accessBatch(core, pas, {BatchOp::Store, true, -1});
+    }
 
     /** Overlapped helper-shared loads of @p pas. */
-    Cycles parallelLoadsShared(unsigned core, unsigned helper,
-                               std::span<const Addr> pas);
+    Cycles
+    parallelLoadsShared(unsigned core, unsigned helper,
+                        std::span<const Addr> pas)
+    {
+        return accessBatch(core, pas,
+                           {BatchOp::Load, true,
+                            static_cast<int>(helper)});
+    }
 
     /** Flush one line from every cache level. */
     Cycles clflush(unsigned core, Addr pa);
@@ -162,7 +217,11 @@ class Machine
      * Flush many lines back-to-back; clflush is weakly ordered, so
      * the cost is throughput-bound rather than per-line latency.
      */
-    Cycles clflushMany(unsigned core, std::span<const Addr> pas);
+    Cycles
+    clflushMany(unsigned core, std::span<const Addr> pas)
+    {
+        return accessBatch(core, pas, {BatchOp::Flush, true, -1});
+    }
 
     // ------------------------------------------- background streams
 
@@ -236,12 +295,64 @@ class Machine
     AccessOutcome accessLine(unsigned core, Addr line, bool is_store,
                              bool probe = false);
 
+    /**
+     * Host-cache prefetch of the state the next batch element will
+     * touch (shared-structure records, sync stamp, private sets).
+     * Purely a host-side hint issued by the batch loops; simulated
+     * behaviour is untouched.
+     */
+    void
+    prefetchLine(unsigned core, Addr pa)
+    {
+        // Small machines' tables live in the host's caches already;
+        // the hash + hint work would be pure overhead there.  The
+        // same holds while a sweep is running entirely out of the
+        // private caches — the streak heuristic backs off then and
+        // re-arms on the first shared-structure access.
+        if (!prefetchRecords_ || privateHitStreak_ > 64)
+            return;
+        const Addr line = lineAlign(pa);
+        const unsigned s = sharedSetOf(line);
+        sf_.prefetchSet(s);
+        llc_.prefetchSet(s);
+        __builtin_prefetch(&lastSync_[s]);
+        l2_[core].prefetchSet(cfg_.l2.setIndex(line));
+    }
+
+    /** Count one serviced access and build its outcome. */
+    AccessOutcome
+    serve(HitLevel level)
+    {
+        const double lat = effLatency(level);
+        const unsigned idx = static_cast<unsigned>(level);
+        ++perf_.levelAccesses[idx];
+        perf_.levelCycles[idx] += lat;
+        if (level == HitLevel::L1 || level == HitLevel::L2)
+            ++privateHitStreak_;
+        else
+            privateHitStreak_ = 0;
+        return {lat, level};
+    }
+
     /** Shared implementation of the overlapped-burst operations. */
-    Cycles parallelAccess(unsigned core, std::span<const Addr> pas,
-                          bool is_store, int helper);
+    Cycles overlappedAccess(unsigned core, std::span<const Addr> pas,
+                            bool is_store, int helper);
+
+    /** Shared implementation of the overlapped flush sweep. */
+    Cycles overlappedFlush(unsigned core, std::span<const Addr> pas);
+
+    /** Drop @p line from every structure (no clock change). */
+    void flushLineNow(Addr line);
 
     /** Apply background noise + streams to shared set @p s up to now. */
     void syncSharedSet(unsigned s);
+
+    /** Recompute the quiescent flag (see the member below). */
+    void
+    updateQuiescent()
+    {
+        quiescent_ = noisePerCycle_ == 0.0 && streams_.empty();
+    }
 
     /** One synthetic other-tenant access to shared set @p s. */
     void noiseTouch(unsigned s);
@@ -282,12 +393,28 @@ class Machine
     PageAllocator allocator_;
     unsigned nextAsid_ = 0;
 
-    std::unique_ptr<SliceHash> sliceHash_;
+    OpaqueSliceHash sliceHash_; //!< by value: slice() inlines per access
 
     std::vector<CacheArray> l1_; //!< per core
     std::vector<CacheArray> l2_; //!< per core
+
+    /**
+     * Interleaved LLC + SF per-set records ([sf | llc] per flat set):
+     * the two structures share the set space and the hot path always
+     * touches them back to back, so co-locating the records halves
+     * the random host-memory fetches.  Declared before llc_/sf_ so it
+     * outlives and pre-exists them.
+     */
+    std::vector<Addr> sharedRecords_;
     CacheArray llc_;
     CacheArray sf_;
+
+    /** Shared tables big enough that batch prefetch hints pay off. */
+    bool prefetchRecords_ = false;
+
+    /** Consecutive accesses served from private caches (host-side
+     *  prefetch back-off heuristic; no simulated meaning). */
+    unsigned privateHitStreak_ = 0;
 
     Cycles clock_ = 0;
 
@@ -300,7 +427,23 @@ class Machine
     Addr noiseCounter_ = 0;
     double noisePerCycle_ = 0.0;
 
+    /**
+     * True iff background replay can have no observable effect: the
+     * noise rate is zero and no streams are registered.  Stream
+     * replay ignores the per-set sync stamp (events fire on absolute
+     * time), so with this set syncSharedSet is a provable no-op and
+     * private-cache hits skip the slice hash entirely.
+     */
+    bool quiescent_ = false;
+
     MachineStats stats_;
+
+    /**
+     * Machine-level perf counter state (service-level tallies and
+     * coherence downgrades); per-structure counts live in the
+     * CacheArrays and are merged by perfCounters().
+     */
+    PerfCounters perf_;
 };
 
 } // namespace llcf

@@ -20,40 +20,4 @@ hitLevelName(HitLevel level)
     return "?";
 }
 
-double
-TimingParams::latency(HitLevel level) const
-{
-    switch (level) {
-      case HitLevel::L1:
-        return l1Hit;
-      case HitLevel::L2:
-        return l2Hit;
-      case HitLevel::SfTransfer:
-        return sfTransfer;
-      case HitLevel::Llc:
-        return llcHit;
-      case HitLevel::Dram:
-        return dram;
-    }
-    return dram;
-}
-
-double
-TimingParams::throughputCost(HitLevel level) const
-{
-    switch (level) {
-      case HitLevel::L1:
-        return thrL1;
-      case HitLevel::L2:
-        return thrL2;
-      case HitLevel::SfTransfer:
-        return thrLlc;
-      case HitLevel::Llc:
-        return thrLlc;
-      case HitLevel::Dram:
-        return thrDram;
-    }
-    return thrDram;
-}
-
 } // namespace llcf

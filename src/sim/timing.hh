@@ -51,10 +51,42 @@ struct TimingParams
     double thrDram = 15.8;
 
     /** Dependent-access latency of @p level (before contention). */
-    double latency(HitLevel level) const;
+    double
+    latency(HitLevel level) const
+    {
+        switch (level) {
+          case HitLevel::L1:
+            return l1Hit;
+          case HitLevel::L2:
+            return l2Hit;
+          case HitLevel::SfTransfer:
+            return sfTransfer;
+          case HitLevel::Llc:
+            return llcHit;
+          case HitLevel::Dram:
+            return dram;
+        }
+        return dram;
+    }
 
     /** Overlapped marginal cost of @p level (before contention). */
-    double throughputCost(HitLevel level) const;
+    double
+    throughputCost(HitLevel level) const
+    {
+        switch (level) {
+          case HitLevel::L1:
+            return thrL1;
+          case HitLevel::L2:
+            return thrL2;
+          case HitLevel::SfTransfer:
+            return thrLlc;
+          case HitLevel::Llc:
+            return thrLlc;
+          case HitLevel::Dram:
+            return thrDram;
+        }
+        return thrDram;
+    }
 };
 
 /**
