@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Fleet-scale end-to-end key-recovery campaigns and their CI gate.
+ *
+ * Runs the registered Stage::Campaign scenarios (see src/campaign/)
+ * through KeyRecoveryCampaign and writes one BENCH_e2e.json entry per
+ * campaign: the per-victim aggregates plus the fleet summary (keys
+ * recovered, fleet success rate, simulated cycles per recovered key).
+ *
+ *   bench_e2e --list                    enumerate campaign scenarios
+ *   bench_e2e                           run every campaign, full fleets
+ *   bench_e2e --scenario=campaign-skl-* run a named subset (globs ok)
+ *   bench_e2e --smoke                   fleets capped at 2 victims
+ *   bench_e2e --smoke --baseline=BENCH_e2e.json
+ *                                       + regression gate: fleet
+ *                                       success rates inside the
+ *                                       baseline's absolute band,
+ *                                       per-victim total cycles inside
+ *                                       the relative band; exits 1
+ *                                       on a violation
+ *
+ * For a fixed seed the JSON is byte-identical at any worker-thread
+ * count (each victim world is rebuilt from its positional trial
+ * stream; CI diffs 1-thread vs 8-thread --smoke runs).  Wall-clock
+ * numbers stay on stdout.  The checked-in baseline at the repository
+ * root is regenerated with:
+ *   ./build/bench_e2e --smoke --json-out=BENCH_e2e.json
+ */
+
+#include "bench_common.hh"
+
+#include <cstdio>
+
+#include "campaign/campaign.hh"
+#include "harness/json.hh"
+#include "scenario/registry.hh"
+
+namespace llcf {
+namespace {
+
+/** Absolute drift allowed on fleet success rates by the --smoke
+ *  gate: one victim of a smoke fleet may flip without failing CI
+ *  (the pipeline is deterministic per seed but not per libm). */
+constexpr double kRateTolerance = 0.5;
+
+/** Relative drift allowed on the per-victim total_cycles mean. */
+constexpr double kCyclesTolerance = 0.5;
+
+/** Victims per campaign in --smoke mode. */
+constexpr std::size_t kSmokeFleet = 2;
+
+std::vector<const ScenarioSpec *>
+campaignSpecs(const ScenarioRegistry &reg, bool scenario_given,
+              const std::string &selection)
+{
+    std::vector<const ScenarioSpec *> specs;
+    if (!scenario_given) {
+        for (const ScenarioSpec &s : reg.all()) {
+            if (s.stage == ScenarioStage::Campaign)
+                specs.push_back(&s);
+        }
+        return specs;
+    }
+    if (selection.empty())
+        return specs;
+    for (const ScenarioSpec *s : reg.select(selection)) {
+        if (s->stage != ScenarioStage::Campaign) {
+            std::fprintf(stderr,
+                         "bench_e2e: '%s' is a %s scenario, not a "
+                         "campaign (those run under bench_matrix)\n",
+                         s->name.c_str(), scenarioStageName(s->stage));
+            std::exit(2);
+        }
+        specs.push_back(s);
+    }
+    return specs;
+}
+
+void
+listCampaigns(const std::vector<const ScenarioSpec *> &specs)
+{
+    std::printf("%-28s %-18s %-8s %6s %-15s %s\n", "name", "machine",
+                "repl", "fleet", "noise", "description");
+    for (const ScenarioSpec *s : specs) {
+        char machine[32];
+        std::snprintf(machine, sizeof(machine), "%s/%usl",
+                      scenarioMachineName(s->machine), s->slices);
+        std::printf("%-28s %-18s %-8s %6u %-15s %s\n", s->name.c_str(),
+                    machine, replKindName(s->sharedRepl), s->fleetSize,
+                    s->noise.c_str(), s->description.c_str());
+    }
+}
+
+void
+printCampaignRow(const CampaignResult &r)
+{
+    const CampaignSummary &s = r.summary;
+    std::printf("  %-28s fleet %3zu  keys %3zu  succ %5.1f%%  ",
+                r.experiment.name().c_str(), s.fleet, s.keysRecovered,
+                s.fleetSuccessRate * 100.0);
+    if (s.keysRecovered > 0) {
+        std::printf("%10s/key", formatDuration(
+                                    s.cyclesPerRecoveredKey).c_str());
+    } else {
+        std::printf("%14s", "-");
+    }
+    std::printf("  wall %6.1f s\n", s.wallSeconds);
+}
+
+/**
+ * Gate the suite against a checked-in baseline.  Returns the number
+ * of violations; a stale or unreadable baseline counts as one so the
+ * gate cannot silently pass.
+ */
+unsigned
+gateAgainstBaseline(const CampaignSuite &suite, const std::string &path)
+{
+    JsonValue doc;
+    std::string err;
+    if (!loadJsonFile(path, doc, &err)) {
+        std::fprintf(stderr, "baseline: %s\n", err.c_str());
+        return 1;
+    }
+    double rate_tol = kRateTolerance;
+    if (const JsonValue *t = doc.find("context", "rate_tolerance"))
+        rate_tol = t->asNumber();
+    double cyc_tol = kCyclesTolerance;
+    if (const JsonValue *t = doc.find("context", "cycles_tolerance"))
+        cyc_tol = t->asNumber();
+    const JsonValue *bench_list = doc.find("benchmarks");
+    if (!bench_list || !bench_list->isArray()) {
+        std::fprintf(stderr, "baseline %s: no benchmarks array\n",
+                     path.c_str());
+        return 1;
+    }
+    auto baselineFor = [&](const std::string &name) -> const JsonValue * {
+        for (const JsonValue &b : bench_list->items()) {
+            const JsonValue *bn = b.find("name");
+            if (bn && bn->kind() == JsonValue::Kind::String &&
+                bn->asString() == name) {
+                return &b;
+            }
+        }
+        return nullptr;
+    };
+
+    unsigned violations = 0;
+    for (const CampaignResult &r : suite.results()) {
+        const std::string &name = r.experiment.name();
+        const JsonValue *base = baselineFor(name);
+        if (!base) {
+            std::fprintf(stderr,
+                         "FAIL %s: campaign missing from baseline "
+                         "(regenerate %s)\n",
+                         name.c_str(), path.c_str());
+            ++violations;
+            continue;
+        }
+        const JsonValue *rate =
+            base->find("campaign", "fleet_success_rate");
+        if (!rate || !rate->isNumber()) {
+            std::fprintf(stderr,
+                         "FAIL %s: no baseline fleet_success_rate "
+                         "(regenerate %s)\n",
+                         name.c_str(), path.c_str());
+            ++violations;
+        } else {
+            const double want = rate->asNumber();
+            const double got = r.summary.fleetSuccessRate;
+            if (got < want - rate_tol || got > want + rate_tol) {
+                std::fprintf(stderr,
+                             "FAIL %s/fleet_success_rate: %.3f "
+                             "outside [%.3f, %.3f]\n",
+                             name.c_str(), got, want - rate_tol,
+                             want + rate_tol);
+                ++violations;
+            }
+        }
+        const JsonValue *mean =
+            base->find("metrics", "total_cycles", "mean");
+        const SampleStats *total =
+            r.experiment.metric("total_cycles");
+        if (!mean || !mean->isNumber() || !total || total->empty()) {
+            std::fprintf(stderr,
+                         "FAIL %s: no comparable total_cycles "
+                         "(regenerate %s)\n",
+                         name.c_str(), path.c_str());
+            ++violations;
+        } else {
+            const double want = mean->asNumber();
+            const double lo = want * (1.0 - cyc_tol);
+            const double hi = want * (1.0 + cyc_tol);
+            const double got = total->mean();
+            if (got < lo || got > hi) {
+                std::fprintf(stderr,
+                             "FAIL %s/total_cycles: %.4g outside "
+                             "[%.4g, %.4g] (baseline %.4g)\n",
+                             name.c_str(), got, lo, hi, want);
+                ++violations;
+            }
+        }
+    }
+    if (violations == 0)
+        std::printf("e2e gate: all campaigns within band of %s\n",
+                    path.c_str());
+    return violations;
+}
+
+int
+benchMain(bool list, bool smoke, bool scenario_given,
+          const std::string &selection, const std::string &baseline)
+{
+    const auto specs = campaignSpecs(builtinScenarios(), scenario_given,
+                                     selection);
+    if (list) {
+        listCampaigns(specs);
+        return 0;
+    }
+    if (specs.empty()) {
+        std::fprintf(stderr,
+                     "bench_e2e: no campaigns matched '%s' "
+                     "(try --list)\n",
+                     selection.c_str());
+        return 1;
+    }
+
+    benchPrintHeader("End-to-end key-recovery campaigns");
+    CampaignSuite suite("e2e");
+    suite.contextValue("rate_tolerance", kRateTolerance);
+    suite.contextValue("cycles_tolerance", kCyclesTolerance);
+    for (const ScenarioSpec *spec : specs) {
+        const std::size_t fleet =
+            smoke ? std::min<std::size_t>(spec->fleetSize, kSmokeFleet)
+                  : trialCount(spec->fleetSize);
+        KeyRecoveryCampaign campaign(*spec);
+        CampaignResult result = campaign.run(fleet, 0, baseSeed());
+        printCampaignRow(result);
+        suite.add(std::move(result));
+    }
+
+    // Gate against the baseline *before* writing the suite: when the
+    // output path and the baseline are the same file (e.g. running
+    // the gate from the repo root with no --json-out), writing first
+    // would clobber the baseline and gate the run against itself.
+    const bool gate_ok =
+        baseline.empty() || gateAgainstBaseline(suite, baseline) == 0;
+    const std::string out = suite.writeFile();
+    if (out.empty()) {
+        std::fprintf(stderr, "failed to write JSON output\n");
+        return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+    return gate_ok ? 0 : 1;
+}
+
+} // namespace
+} // namespace llcf
+
+int
+main(int argc, char **argv)
+{
+    bool list = false;
+    bool smoke = false;
+    bool scenario_given = false;
+    std::string selection;
+    std::string baseline;
+    std::vector<std::string> unknown;
+    for (const std::string &arg : llcf::benchParseArgs(argc, argv)) {
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg.rfind("--scenario=", 0) == 0) {
+            scenario_given = true;
+            if (!selection.empty())
+                selection += ',';
+            selection += arg.substr(sizeof("--scenario=") - 1);
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            baseline = arg.substr(sizeof("--baseline=") - 1);
+        } else {
+            unknown.push_back(arg);
+        }
+    }
+    if (!llcf::benchRejectExtraArgs(unknown)) {
+        std::fprintf(stderr,
+                     "bench_e2e flags: --list --smoke "
+                     "--scenario=<name[,name...]> "
+                     "--baseline=BENCH_e2e.json\n");
+        return 2;
+    }
+    return llcf::benchMain(list, smoke, scenario_given, selection,
+                           baseline);
+}

@@ -300,23 +300,10 @@ unsigned
 gateAgainstBaseline(const ExperimentSuite &suite,
                     const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f) {
-        std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
-        return 1;
-    }
-    std::string text;
-    char buf[4096];
-    std::size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
-        text.append(buf, n);
-    std::fclose(f);
-
     JsonValue doc;
     std::string err;
-    if (!parseJson(text, doc, &err)) {
-        std::fprintf(stderr, "baseline %s: %s\n", path.c_str(),
-                     err.c_str());
+    if (!loadJsonFile(path, doc, &err)) {
+        std::fprintf(stderr, "baseline: %s\n", err.c_str());
         return 1;
     }
     double tol = kGateTolerance;
@@ -409,12 +396,14 @@ benchMain(bool smoke, const std::string &baseline)
     for (const Cell &cell : cells)
         suite.add(runCell(cell, trials, !smoke));
 
+    // Gate before writing so an output path that happens to equal the
+    // baseline path cannot clobber the baseline and self-gate.
+    const bool gate_ok =
+        baseline.empty() || gateAgainstBaseline(suite, baseline) == 0;
     const int write_rc = benchWriteSuite(suite);
     if (write_rc != 0)
         return write_rc;
-    if (!baseline.empty() && gateAgainstBaseline(suite, baseline) > 0)
-        return 1;
-    return 0;
+    return gate_ok ? 0 : 1;
 }
 
 } // namespace

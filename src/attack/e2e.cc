@@ -38,11 +38,8 @@ EndToEndAttack::run(const CandidatePool &pool)
     // ---- Step 2: identify the target SF set while triggering the
     // victim.  Keep the victim serving requests across the scan.
     t0 = m.now();
-    const double scan_sec = cyclesToSec(params_.scanner.timeout);
-    const unsigned request_count = std::max<unsigned>(
-        4, static_cast<unsigned>(scan_sec / cyclesToSec(
-               victim_.expectedRequestCycles(570)) * 1.2) + 2);
-    victim_.serveRequests(m.now(), request_count);
+    victim_.serveRequests(m.now(),
+                          scanRequestCount(victim_, params_.scanner));
 
     TargetSetScanner scanner(session_, classifier_);
     ScanResult scan = scanner.scan(built.evsets);
@@ -59,25 +56,53 @@ EndToEndAttack::run(const CandidatePool &pool)
     // nonce bits from each.
     t0 = m.now();
     const auto &evset = built.evsets[scan.evsetIndex];
+    // Monitoring extends slightly past the ladder so the closing
+    // boundary fetch at ladderEnd is observable; the slack stays
+    // below the minimum iteration duration, so no spurious boundary
+    // pair can form beyond the ladder.
+    const Cycles tail_slack = extractor_.params().minIteration / 2;
     for (unsigned i = 0; i < params_.tracesPerVictim; ++i) {
         auto execs = victim_.serveRequests(m.now() + 1000, 1);
+        if (execs.empty()) {
+            // The victim produced no execution (request quota spent,
+            // service gone).  Return what was recovered so far as a
+            // partial result instead of indexing an empty vector.
+            warn("e2e: victim produced no execution for signing "
+                 "%u/%u; returning a partial result",
+                 i + 1, params_.tracesPerVictim);
+            break;
+        }
         const auto &exec = execs[0];
         // The attacker monitors from request dispatch to response.
         auto monitor = PrimeProbeMonitor::make(MonitorKind::Parallel,
                                                session_, evset.sfSet);
         if (exec.ladderStart > m.now())
             m.idle(exec.ladderStart - m.now());
-        auto detections = monitor->collectTrace(exec.ladderEnd);
+        auto detections = monitor->collectTrace(exec.ladderEnd +
+                                                tail_slack);
         m.clearStreams();
 
         auto bits = extractor_.extract(detections);
         auto sc = extractor_.score(bits, exec);
+        ++res.tracesCollected;
         res.recoveredFraction.add(sc.recoveredFraction());
         if (sc.recoveredBits > 0)
             res.bitErrorRate.add(sc.bitErrorRate());
     }
     res.extractTime = m.now() - t0;
     return res;
+}
+
+unsigned
+EndToEndAttack::scanRequestCount(const VictimService &victim,
+                                 const ScannerParams &scanner)
+{
+    const double scan_sec = cyclesToSec(scanner.timeout);
+    return std::max<unsigned>(
+        4, static_cast<unsigned>(
+               scan_sec /
+               cyclesToSec(victim.expectedRequestCycles(570)) * 1.2) +
+               2);
 }
 
 } // namespace llcf

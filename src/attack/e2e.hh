@@ -30,6 +30,14 @@ struct E2EResult
     bool targetFound = false;   //!< the scanner returned a set
     bool targetCorrect = false; //!< ... and it is the true target set
 
+    /**
+     * Signings actually monitored in Step 3.  May fall short of
+     * E2EParams::tracesPerVictim when the victim stops producing
+     * executions (e.g. its request quota runs out); the result is
+     * then partial, never invalid.
+     */
+    unsigned tracesCollected = 0;
+
     Cycles buildTime = 0;
     Cycles scanTime = 0;
     Cycles extractTime = 0;
@@ -66,6 +74,15 @@ class EndToEndAttack
      * attacker can send requests to the victim service).
      */
     E2EResult run(const CandidatePool &pool);
+
+    /**
+     * Requests Step 2 schedules to keep @p victim signing across the
+     * scan window, sized from the scanner timeout and the victim's
+     * expected request duration.  Exposed so quota sizing (tests,
+     * campaign specs) shares the attack's own arithmetic.
+     */
+    static unsigned scanRequestCount(const VictimService &victim,
+                                     const ScannerParams &scanner);
 
   private:
     AttackSession &session_;

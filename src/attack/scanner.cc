@@ -25,8 +25,10 @@ TraceClassifier::features(const std::vector<Cycles> &rel_times) const
     const PsdEstimate psd = welchPsd(binned, fs, params_.welch);
 
     std::vector<double> row;
-    if (psd.power.empty()) {
-        row.assign(params_.welch.segmentLength / 2 + 1, 0.0);
+    if (!psd.valid()) {
+        // Degenerate PSD (trace too short for one Welch segment):
+        // return an empty row — a flagged "no feature" marker — so no
+        // fabricated all-zero spectrum ever reaches the SVM.
         return row;
     }
     // Log-power spectrum, normalised by total power so the SVM sees
@@ -49,6 +51,10 @@ TraceClassifier::train(Dataset data)
 bool
 TraceClassifier::isTarget(const std::vector<double> &feature_row) const
 {
+    // An empty row is the "no feature" marker from features(): never
+    // the target (scoring it would read past the scaler's dims).
+    if (feature_row.empty())
+        return false;
     std::vector<double> scaled = feature_row;
     scaler_.transform(scaled);
     return svm_.predict(scaled) > 0;
@@ -89,6 +95,14 @@ ScannerTrainer::collect(const TraceClassifier &featurizer,
     auto collect_one = [&](const std::vector<Addr> &evset, int label) {
         // Keep the victim running across the trace window.
         auto execs = victim_.serveRequests(m.now(), 1);
+        if (execs.empty()) {
+            // Training victim exhausted (request quota): skip the
+            // sample rather than index an empty execution list.
+            warn("scanner trainer: victim produced no execution; "
+                 "skipping a label-%+d trace", label);
+            m.clearStreams();
+            return;
+        }
         // Start the trace somewhere inside the ladder for positive
         // examples; random phase otherwise.
         Cycles begin = m.now();
@@ -109,7 +123,9 @@ ScannerTrainer::collect(const TraceClassifier &featurizer,
                                                 params.traceDuration);
         for (auto &d : detections)
             d -= t0;
-        data.add(featurizer.features(detections), label);
+        auto row = featurizer.features(detections);
+        if (!row.empty()) // skip flagged degenerate-PSD traces
+            data.add(std::move(row), label);
         // Let the victim finish so streams drain.
         if (execs[0].requestEnd > m.now())
             m.idle(execs[0].requestEnd - m.now());

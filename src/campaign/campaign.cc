@@ -1,0 +1,208 @@
+#include "campaign.hh"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "attack/e2e.hh"
+#include "common/log.hh"
+#include "common/options.hh"
+#include "common/rng.hh"
+#include "victim/victim.hh"
+
+namespace llcf {
+namespace {
+
+/** Sub-streams of one victim trial's victim seed. */
+constexpr std::uint64_t kProductionVictim = 0;
+constexpr std::uint64_t kTrainingReplica = 1;
+
+/** The noise profile victim @p v of the fleet runs under. */
+const std::string &
+fleetNoiseFor(const ScenarioSpec &spec, std::size_t v)
+{
+    if (spec.fleetNoises.empty())
+        return spec.noise;
+    return spec.fleetNoises[v % spec.fleetNoises.size()];
+}
+
+/** Victim @p v's target page-line index inside its binary. */
+unsigned
+fleetLineIndexFor(const ScenarioSpec &spec, std::size_t v)
+{
+    return static_cast<unsigned>(
+        (spec.fleetLineIndexBase +
+         static_cast<std::uint64_t>(spec.fleetLineIndexStep) * v) %
+        kLinesPerPage);
+}
+
+} // namespace
+
+void
+runCampaignVictimTrial(const ScenarioSpec &spec, TrialContext &ctx,
+                       TrialRecorder &rec)
+{
+    // Victim v's world view: the campaign axes with v's own noise
+    // environment.  Everything else is rebuilt from the trial stream,
+    // so two victims share nothing but the spec.
+    ScenarioSpec victimSpec = spec;
+    victimSpec.noise = fleetNoiseFor(spec, ctx.index);
+    ScenarioRig rig(victimSpec, ctx.seed);
+
+    VictimConfig vcfg;
+    vcfg.seed = streamSeed(rig.victimSeed(), kProductionVictim);
+    vcfg.targetLineIndex = fleetLineIndexFor(spec, ctx.index);
+    vcfg.requestQuota = spec.victimRequestQuota;
+    VictimService victim(rig.machine, vcfg);
+
+    // The classifier trains offline on an attacker-side replica of
+    // the victim binary (same layout, its own key, no quota), as in
+    // the paper — the production victim's quota is never spent on
+    // training traffic.
+    VictimConfig rcfg = vcfg;
+    rcfg.seed = streamSeed(rig.victimSeed(), kTrainingReplica);
+    rcfg.requestQuota = 0;
+    VictimService replica(rig.machine, rcfg);
+    TraceClassifier classifier =
+        trainScenarioClassifier(victimSpec, rig, replica);
+
+    NonceExtractor extractor; // rule-based boundary detection
+    E2EParams params;
+    params.algo = victimSpec.algo;
+    params.useFilter = victimSpec.useFilter;
+    params.tracesPerVictim = victimSpec.tracesPerVictim;
+    params.scanner.timeout = secToCycles(victimSpec.scanTimeoutSec);
+    EndToEndAttack attack(*rig.session, victim, classifier, extractor,
+                          params);
+    E2EResult res = attack.run(*rig.pool);
+
+    rec.outcome("evsets_built", res.evsetsBuilt);
+    rec.outcome("target_found", res.targetFound);
+    rec.outcome("target_correct", res.targetCorrect);
+    const bool recovered =
+        res.targetCorrect && !res.recoveredFraction.empty() &&
+        !res.bitErrorRate.empty() &&
+        res.recoveredFraction.mean() >= spec.keyMinRecoveredFraction &&
+        res.bitErrorRate.mean() <= spec.keyMaxBitErrorRate;
+    rec.outcome("key_recovered", recovered);
+
+    rec.metric("build_cycles", static_cast<double>(res.buildTime));
+    rec.metric("scan_cycles", static_cast<double>(res.scanTime));
+    rec.metric("extract_cycles", static_cast<double>(res.extractTime));
+    rec.metric("total_cycles", static_cast<double>(res.totalTime()));
+    rec.metric("traces_collected",
+               static_cast<double>(res.tracesCollected));
+    for (double v : res.recoveredFraction.samples())
+        rec.metric("recovered_fraction", v);
+    for (double v : res.bitErrorRate.samples())
+        rec.metric("bit_error_rate", v);
+    // Campaigns always aggregate the hierarchy counters: BENCH_e2e
+    // is new output, so there is no historical byte content to keep.
+    recordPerfCounters(rec, rig.machine.perfCounters());
+}
+
+CampaignSummary
+summarizeCampaign(const ExperimentResult &experiment)
+{
+    CampaignSummary s;
+    s.fleet = experiment.trials();
+    if (const SuccessRate *kr = experiment.outcome("key_recovered")) {
+        s.keysRecovered = kr->successes();
+        s.fleetSuccessRate = kr->rate();
+    }
+    if (const SampleStats *total = experiment.metric("total_cycles")) {
+        s.totalAttackCycles =
+            total->mean() * static_cast<double>(total->count());
+    }
+    s.cyclesPerRecoveredKey =
+        s.keysRecovered
+            ? s.totalAttackCycles / static_cast<double>(s.keysRecovered)
+            : std::numeric_limits<double>::quiet_NaN();
+    return s;
+}
+
+void
+CampaignResult::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    experiment.writeJsonMembers(w);
+    w.key("campaign").beginObject();
+    w.member("fleet", static_cast<std::uint64_t>(summary.fleet));
+    w.member("keys_recovered",
+             static_cast<std::uint64_t>(summary.keysRecovered));
+    w.member("fleet_success_rate", summary.fleetSuccessRate);
+    w.member("total_attack_cycles", summary.totalAttackCycles);
+    // NaN (no key recovered) serialises as an explicit null.
+    w.member("cycles_per_recovered_key", summary.cyclesPerRecoveredKey);
+    w.endObject();
+    w.endObject();
+}
+
+KeyRecoveryCampaign::KeyRecoveryCampaign(ScenarioSpec spec)
+    : spec_(std::move(spec))
+{
+    if (spec_.stage != ScenarioStage::Campaign)
+        fatal("campaign '%s': spec stage is %s, not campaign",
+              spec_.name.c_str(), scenarioStageName(spec_.stage));
+}
+
+CampaignResult
+KeyRecoveryCampaign::run(std::size_t fleet, unsigned threads,
+                         std::uint64_t masterSeed) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    CampaignResult out;
+    out.experiment = runScenario(
+        spec_, fleet ? fleet : spec_.fleetSize, threads, masterSeed);
+    out.summary = summarizeCampaign(out.experiment);
+    const auto t1 = std::chrono::steady_clock::now();
+    out.summary.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return out;
+}
+
+CampaignSuite::CampaignSuite(std::string bench)
+    : bench_(std::move(bench))
+{
+}
+
+void
+CampaignSuite::contextValue(std::string key, double v)
+{
+    contextValues_.emplace_back(std::move(key), v);
+}
+
+void
+CampaignSuite::add(CampaignResult result)
+{
+    results_.push_back(std::move(result));
+}
+
+std::string
+CampaignSuite::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("context").beginObject();
+    w.member("bench", bench_);
+    w.member("base_seed", baseSeed());
+    w.member("full_scale", fullScale());
+    for (const auto &[key, v] : contextValues_)
+        w.member(key, v);
+    w.endObject();
+    w.key("benchmarks").beginArray();
+    for (const auto &r : results_)
+        r.writeJson(w);
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+CampaignSuite::writeFile(const std::string &path) const
+{
+    return writeBenchDocument(bench_, toJson(), path);
+}
+
+} // namespace llcf

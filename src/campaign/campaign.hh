@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Fleet-scale end-to-end key-recovery campaigns.
+ *
+ * A campaign drives the paper's full Step 1-3 pipeline — eviction-set
+ * construction, PSD target-set scan, Prime+Probe monitoring and nonce
+ * extraction — against a *fleet* of N victim services instead of the
+ * single victim EndToEndAttack handles.  Victims differ the way
+ * co-resident tenants do: each has its own ECDSA key, its own target
+ * page offset inside its binary, its own noise environment and
+ * (optionally) a request quota.
+ *
+ * Determinism contract: one victim is one harness trial, and each
+ * trial rebuilds its complete world (Machine, AttackSession,
+ * CandidatePool, VictimService, classifier) from the trial's
+ * positional RNG stream.  The experiment runner shards trials across
+ * worker threads and merges per-trial slots in trial order, so a
+ * campaign's aggregate — and its BENCH_e2e.json serialisation — is
+ * byte-identical for 1 or 8 worker threads (DESIGN.md §6).
+ */
+
+#ifndef LLCF_CAMPAIGN_CAMPAIGN_HH
+#define LLCF_CAMPAIGN_CAMPAIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hh"
+
+namespace llcf {
+
+/** Cross-victim aggregate of one campaign run. */
+struct CampaignSummary
+{
+    std::size_t fleet = 0;         //!< victims attacked
+    std::size_t keysRecovered = 0; //!< victims whose key was recovered
+
+    /** keysRecovered / fleet (0 when the fleet is empty). */
+    double fleetSuccessRate = 0.0;
+
+    /** Sum of per-victim attack time (simulated cycles). */
+    double totalAttackCycles = 0.0;
+
+    /**
+     * Simulated attack cycles spent per recovered key — the
+     * campaign's cost headline.  NaN when no key was recovered
+     * (serialised as an explicit JSON null).
+     */
+    double cyclesPerRecoveredKey = 0.0;
+
+    /** Host-side wall clock of the run; stdout only, never
+     *  serialised (it would break byte-determinism). */
+    double wallSeconds = 0.0;
+};
+
+/** One campaign's per-victim aggregates plus the fleet summary. */
+struct CampaignResult
+{
+    ExperimentResult experiment; //!< per-victim metrics/outcomes
+    CampaignSummary summary;
+
+    /**
+     * One "benchmarks" array entry: the experiment members (name,
+     * trials, seed, metrics, outcomes) plus a "campaign" object with
+     * the fleet summary.  wallSeconds is deliberately omitted.
+     */
+    void writeJson(JsonWriter &w) const;
+};
+
+/**
+ * Derive the fleet summary from a campaign experiment's aggregates
+ * (the "key_recovered" outcome and "total_cycles" metric).  Pure, so
+ * tests can feed synthetic experiments.
+ */
+CampaignSummary summarizeCampaign(const ExperimentResult &experiment);
+
+/**
+ * Runs one campaign scenario (a ScenarioSpec with
+ * ScenarioStage::Campaign) on the experiment harness.
+ */
+class KeyRecoveryCampaign
+{
+  public:
+    /** @p spec must have stage Campaign (fatal otherwise). */
+    explicit KeyRecoveryCampaign(ScenarioSpec spec);
+
+    const ScenarioSpec &spec() const { return spec_; }
+
+    /**
+     * Attack a fleet.
+     *
+     * @param fleet Victims to run; 0 = spec.fleetSize.
+     * @param threads Harness workers (0 = LLCF_THREADS / hardware).
+     * @param masterSeed Root of the per-victim RNG streams.
+     */
+    CampaignResult run(std::size_t fleet = 0, unsigned threads = 0,
+                       std::uint64_t masterSeed = 42) const;
+
+  private:
+    ScenarioSpec spec_;
+};
+
+/**
+ * One victim's trial body: rebuild the victim's world from the trial
+ * stream, run the full EndToEndAttack, and record the per-victim
+ * outcomes ("evsets_built", "target_found", "target_correct",
+ * "key_recovered"), stage cycle metrics, recovered-fraction /
+ * bit-error-rate samples, traces_collected and the pc_* counters.
+ * Dispatched by runScenarioTrial for ScenarioStage::Campaign, so
+ * campaign scenarios also run under bench_matrix --scenario=.
+ */
+void runCampaignVictimTrial(const ScenarioSpec &spec, TrialContext &ctx,
+                            TrialRecorder &rec);
+
+/**
+ * An ordered collection of campaign results destined for one
+ * BENCH_e2e.json document (mirrors ExperimentSuite).
+ */
+class CampaignSuite
+{
+  public:
+    /** @param bench Bench identifier, e.g. "e2e". */
+    explicit CampaignSuite(std::string bench);
+
+    /** Numeric "context" entry (e.g. the CI gate's tolerance). */
+    void contextValue(std::string key, double v);
+
+    /** Append one result (rendered in insertion order). */
+    void add(CampaignResult result);
+
+    const std::vector<CampaignResult> &results() const
+    {
+        return results_;
+    }
+
+    /** Whole-suite JSON document (context + benchmarks array). */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path or the default BENCH destination
+     *  (see writeBenchDocument). Returns the path, or "" on I/O
+     *  failure. */
+    std::string writeFile(const std::string &path = "") const;
+
+  private:
+    std::string bench_;
+    std::vector<std::pair<std::string, double>> contextValues_;
+    std::vector<CampaignResult> results_;
+};
+
+} // namespace llcf
+
+#endif // LLCF_CAMPAIGN_CAMPAIGN_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "log.hh"
 #include "types.hh"
 
 namespace llcf {
@@ -59,6 +60,8 @@ SampleStats::ensureSorted() const
 double
 SampleStats::min() const
 {
+    if (samples_.empty())
+        panic("SampleStats::min() on an empty aggregate");
     ensureSorted();
     return sorted_.front();
 }
@@ -66,6 +69,8 @@ SampleStats::min() const
 double
 SampleStats::max() const
 {
+    if (samples_.empty())
+        panic("SampleStats::max() on an empty aggregate");
     ensureSorted();
     return sorted_.back();
 }
@@ -79,6 +84,8 @@ SampleStats::median() const
 double
 SampleStats::percentile(double pct) const
 {
+    if (samples_.empty())
+        panic("SampleStats::percentile() on an empty aggregate");
     ensureSorted();
     if (sorted_.size() == 1)
         return sorted_.front();

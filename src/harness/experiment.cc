@@ -44,23 +44,20 @@ void
 ExperimentResult::writeJson(JsonWriter &w) const
 {
     w.beginObject();
+    writeJsonMembers(w);
+    w.endObject();
+}
+
+void
+ExperimentResult::writeJsonMembers(JsonWriter &w) const
+{
     w.member("name", name_);
     w.member("trials", static_cast<std::uint64_t>(trials_));
     w.member("seed", masterSeed_);
     w.key("metrics").beginObject();
     for (const auto &[name, stats] : metrics_) {
-        w.key(name).beginObject();
-        w.member("count", static_cast<std::uint64_t>(stats.count()));
-        w.member("mean", stats.mean());
-        w.member("stddev", stats.stddev());
-        if (!stats.empty()) {
-            w.member("min", stats.min());
-            w.member("p10", stats.percentile(10.0));
-            w.member("median", stats.median());
-            w.member("p90", stats.percentile(90.0));
-            w.member("max", stats.max());
-        }
-        w.endObject();
+        w.key(name);
+        writeStatsObject(w, stats);
     }
     w.endObject();
     w.key("outcomes").beginObject();
@@ -71,7 +68,6 @@ ExperimentResult::writeJson(JsonWriter &w) const
         w.member("rate", sr.rate());
         w.endObject();
     }
-    w.endObject();
     w.endObject();
 }
 
@@ -168,13 +164,19 @@ ExperimentSuite::toJson() const
 std::string
 ExperimentSuite::writeFile(const std::string &path) const
 {
+    return writeBenchDocument(bench_, toJson(), path);
+}
+
+std::string
+writeBenchDocument(const std::string &bench, const std::string &doc,
+                   const std::string &path)
+{
     std::string target = path;
     if (target.empty())
-        target = envString("LLCF_JSON_OUT", "BENCH_" + bench_ + ".json");
+        target = envString("LLCF_JSON_OUT", "BENCH_" + bench + ".json");
     std::FILE *f = std::fopen(target.c_str(), "w");
     if (!f)
         return "";
-    const std::string doc = toJson();
     const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) ==
                         doc.size() &&
                     std::fputc('\n', f) != EOF;

@@ -107,6 +107,13 @@ class ExperimentResult
      */
     void writeJson(JsonWriter &w) const;
 
+    /**
+     * The members of writeJson() without the surrounding object, for
+     * wrappers (e.g. campaign results) that append members of their
+     * own to the same benchmark entry.
+     */
+    void writeJsonMembers(JsonWriter &w) const;
+
   private:
     friend class ExperimentRunner;
 
@@ -178,6 +185,16 @@ class ExperimentSuite
     std::vector<std::pair<std::string, double>> contextValues_;
     std::vector<ExperimentResult> results_;
 };
+
+/**
+ * Write @p doc plus a trailing newline to @p path, or to the default
+ * destination when @p path is empty: $LLCF_JSON_OUT if set, else
+ * BENCH_<bench>.json in the working directory.  Returns the path
+ * written, or "" on I/O failure.  Shared by every suite writer.
+ */
+std::string writeBenchDocument(const std::string &bench,
+                               const std::string &doc,
+                               const std::string &path = "");
 
 } // namespace llcf
 

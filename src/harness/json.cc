@@ -210,6 +210,68 @@ JsonWriter::value(std::string_view v)
     return *this;
 }
 
+JsonWriter &
+JsonWriter::null()
+{
+    prepareValue();
+    out_ += "null";
+    return *this;
+}
+
+bool
+loadJsonFile(const std::string &path, JsonValue &out,
+             std::string *error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        if (error)
+            *error = "cannot read " + path;
+        return false;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    const bool read_ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!read_ok) {
+        if (error)
+            *error = "error reading " + path;
+        return false;
+    }
+    std::string parse_error;
+    if (!parseJson(text, out, &parse_error)) {
+        if (error)
+            *error = path + ": " + parse_error;
+        return false;
+    }
+    return true;
+}
+
+void
+writeStatsObject(JsonWriter &w, const SampleStats &stats)
+{
+    w.beginObject();
+    w.member("count", static_cast<std::uint64_t>(stats.count()));
+    if (stats.empty()) {
+        // No samples: moments and quantiles do not exist.  count: 0
+        // plus explicit nulls keeps the object shape machine-checkable
+        // without ever serialising NaN (invalid JSON) or a garbage 0.
+        w.key("mean").null();
+        w.key("stddev").null();
+    } else {
+        w.member("mean", stats.mean());
+        w.member("stddev", stats.stddev());
+        w.member("min", stats.min());
+        w.member("p10", stats.percentile(10.0));
+        w.member("median", stats.median());
+        w.member("p90", stats.percentile(90.0));
+        w.member("max", stats.max());
+    }
+    w.endObject();
+}
+
 const std::string &
 JsonWriter::str() const
 {

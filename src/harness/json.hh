@@ -17,6 +17,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/stats.hh"
+
 namespace llcf {
 
 /**
@@ -46,6 +48,9 @@ class JsonWriter
     JsonWriter &value(bool v);
     JsonWriter &value(std::string_view v);
     JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+
+    /** Explicit JSON null. */
+    JsonWriter &null();
 
     /** key() + value() in one call. */
     template <typename T>
@@ -144,8 +149,29 @@ class JsonValue
 bool parseJson(std::string_view text, JsonValue &out,
                std::string *error = nullptr);
 
+/**
+ * Read and parse a JSON file (e.g. a checked-in BENCH_*.json
+ * baseline a CI gate compares against).
+ *
+ * @return true and fills @p out on success; false and fills @p error
+ *         (when non-null) with an "unreadable file" or parse message
+ *         otherwise.
+ */
+bool loadJsonFile(const std::string &path, JsonValue &out,
+                  std::string *error = nullptr);
+
 /** JSON string escaping (control chars, quote, backslash). */
 std::string jsonEscape(std::string_view s);
+
+/**
+ * Serialise a SampleStats aggregate the way every BENCH_*.json
+ * stores one: {count, mean, stddev, min, p10, median, p90, max}.
+ * An *empty* aggregate — e.g. the bit-error rate of an all-miss
+ * end-to-end run — keeps count (0) and writes explicit nulls for
+ * mean/stddev while omitting the order statistics, so no NaN or
+ * garbage quantile ever reaches a JSON document.
+ */
+void writeStatsObject(JsonWriter &w, const SampleStats &stats);
 
 /**
  * Format a double the way the harness stores it: shortest form that

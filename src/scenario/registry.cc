@@ -41,6 +41,27 @@ base(const char *name, const char *description, ScenarioStage stage,
     return s;
 }
 
+/**
+ * Campaign skeleton: full Step 1-3 fleets keep the per-victim cost in
+ * check with the lighter classifier-training budget and scan timeout
+ * the timing probes validated (recovery rates are unchanged).
+ */
+ScenarioSpec
+campaignBase(const char *name, const char *description,
+             ScenarioMachine machine, unsigned slices, ReplKind repl,
+             const char *noise_key, unsigned fleet)
+{
+    ScenarioSpec s = base(name, description, ScenarioStage::Campaign,
+                          machine, slices, repl, noise_key,
+                          PruneAlgo::BinS);
+    s.fleetSize = fleet;
+    s.defaultTrials = fleet;
+    s.trainTargetTraces = 10;
+    s.trainNontargetTraces = 20;
+    s.scanTimeoutSec = 3.0;
+    return s;
+}
+
 ScenarioRegistry
 makeBuiltins()
 {
@@ -154,6 +175,38 @@ makeBuiltins()
             St::EndToEnd, M::TinyTest, 2, R::SRRIP, "local", A::Gt);
         s.defaultTrials = 2;
         s.scanTimeoutSec = 3.0;
+        reg.add(s);
+    }
+
+    // ---- Key-recovery campaigns: full-pipeline victim fleets
+    // (bench_e2e's domain; excluded from bench_matrix's default set).
+    reg.add(campaignBase(
+        "campaign-skl-lru-quiet-1",
+        "Single-tenant anchor: one victim on a quiet Skylake-SP",
+        M::SkylakeSp, 2, R::LRU, "quiet", 1));
+    reg.add(campaignBase(
+        "campaign-skl-lru-quiet-16",
+        "Fleet headline: 16 victims on Skylake-SP in the quiet hours",
+        M::SkylakeSp, 2, R::LRU, "quiet", 16));
+    reg.add(campaignBase(
+        "campaign-skl-lru-cloud-4",
+        "4-victim fleet on Skylake-SP under Cloud Run noise",
+        M::SkylakeSp, 2, R::LRU, "cloud", 4));
+    reg.add(campaignBase(
+        "campaign-icx-lru-cloud-4",
+        "4-victim fleet on Ice Lake-SP under Cloud Run noise",
+        M::IceLakeSp, 2, R::LRU, "cloud", 4));
+    {
+        // Mixed-environment fleet of rate-limited victims: noise
+        // rotates per victim and each service has a request quota, so
+        // the partial-result paths stay exercised end to end.
+        ScenarioSpec s = campaignBase(
+            "campaign-tiny-quota-mixed-4",
+            "Quota'd 4-victim fleet across mixed noise environments",
+            M::TinyTest, 2, R::LRU, "local", 4);
+        s.fleetNoises = {"silent", "quiescent-local"};
+        s.scanTimeoutSec = 1.0;
+        s.victimRequestQuota = 200;
         reg.add(s);
     }
 

@@ -1,6 +1,7 @@
 #include "scenario.hh"
 
 #include "attack/e2e.hh"
+#include "campaign/campaign.hh"
 #include "common/log.hh"
 #include "common/options.hh"
 #include "common/rng.hh"
@@ -18,21 +19,6 @@ actorSeed(std::uint64_t trial_seed, std::uint64_t actor)
 constexpr std::uint64_t kMachineActor = 0;
 constexpr std::uint64_t kAttackerActor = 1;
 constexpr std::uint64_t kVictimActor = 2;
-
-/** Train the PSD classifier the way the paper does: offline, on a
- *  controlled instance of the same host class. */
-TraceClassifier
-trainClassifier(const ScenarioSpec &spec, ScenarioRig &rig,
-                VictimService &victim)
-{
-    ScannerParams sparams;
-    sparams.timeout = secToCycles(spec.scanTimeoutSec);
-    TraceClassifier classifier(sparams);
-    ScannerTrainer trainer(*rig.session, victim, *rig.pool);
-    classifier.train(trainer.collect(classifier, spec.trainTargetTraces,
-                                     spec.trainNontargetTraces));
-    return classifier;
-}
 
 /** Counters hook shared by the trial bodies (opt-in via env). */
 void
@@ -70,7 +56,8 @@ runScanTrial(const ScenarioSpec &spec, TrialContext &ctx,
     VictimConfig vcfg;
     vcfg.seed = rig.victimSeed();
     VictimService victim(m, vcfg);
-    TraceClassifier classifier = trainClassifier(spec, rig, victim);
+    TraceClassifier classifier = trainScenarioClassifier(spec, rig,
+                                                         victim);
 
     Cycles t0 = m.now();
     EvictionSetBuilder builder(*rig.session, spec.algo, spec.useFilter);
@@ -105,7 +92,8 @@ runEndToEndTrial(const ScenarioSpec &spec, TrialContext &ctx,
     VictimConfig vcfg;
     vcfg.seed = rig.victimSeed();
     VictimService victim(rig.machine, vcfg);
-    TraceClassifier classifier = trainClassifier(spec, rig, victim);
+    TraceClassifier classifier = trainScenarioClassifier(spec, rig,
+                                                         victim);
     NonceExtractor extractor; // rule-based boundary detection
 
     E2EParams params;
@@ -133,6 +121,19 @@ runEndToEndTrial(const ScenarioSpec &spec, TrialContext &ctx,
 
 } // namespace
 
+TraceClassifier
+trainScenarioClassifier(const ScenarioSpec &spec, ScenarioRig &rig,
+                        VictimService &victim)
+{
+    ScannerParams sparams;
+    sparams.timeout = secToCycles(spec.scanTimeoutSec);
+    TraceClassifier classifier(sparams);
+    ScannerTrainer trainer(*rig.session, victim, *rig.pool);
+    classifier.train(trainer.collect(classifier, spec.trainTargetTraces,
+                                     spec.trainNontargetTraces));
+    return classifier;
+}
+
 const char *
 scenarioStageName(ScenarioStage stage)
 {
@@ -143,6 +144,8 @@ scenarioStageName(ScenarioStage stage)
         return "scan";
       case ScenarioStage::EndToEnd:
         return "end-to-end";
+      case ScenarioStage::Campaign:
+        return "campaign";
     }
     return "?";
 }
@@ -222,6 +225,9 @@ runScenarioTrial(const ScenarioSpec &spec, TrialContext &ctx,
         return;
       case ScenarioStage::EndToEnd:
         runEndToEndTrial(spec, ctx, rec);
+        return;
+      case ScenarioStage::Campaign:
+        runCampaignVictimTrial(spec, ctx, rec);
         return;
     }
     fatal("scenario '%s': unknown stage", spec.name.c_str());

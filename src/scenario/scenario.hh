@@ -19,9 +19,12 @@
 #ifndef LLCF_SCENARIO_SCENARIO_HH
 #define LLCF_SCENARIO_SCENARIO_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "attack/scanner.hh"
 #include "evset/builder.hh"
 #include "harness/experiment.hh"
 #include "noise/profile.hh"
@@ -34,6 +37,8 @@ enum class ScenarioStage
     EvsetBuild, //!< Step 1 only: one SF eviction set per trial
     Scan,       //!< Steps 1-2: bulk build + PSD target-set scan
     EndToEnd,   //!< Steps 1-3: full EndToEndAttack with extraction
+    Campaign,   //!< Steps 1-3 against a whole victim fleet (one
+                //!< victim world per harness trial; see src/campaign/)
 };
 
 /** Human-readable stage name. */
@@ -72,6 +77,33 @@ struct ScenarioSpec
     unsigned trainTargetTraces = 20; //!< Scan/EndToEnd: classifier
     unsigned trainNontargetTraces = 40;
     double scanTimeoutSec = 10.0;    //!< Scan/EndToEnd scanner timeout
+
+    // --------------------------------------- campaign (Stage::Campaign)
+    // A campaign runs a fleet of victim services — one per harness
+    // trial — through the full Step 1-3 pipeline.  Victims differ
+    // positionally: victim v gets its own RNG streams (and therefore
+    // its own ECDSA key), its own target page offset, and its noise
+    // profile from the rotation below.
+
+    /** Victims in the fleet (the campaign's defaultTrials). */
+    unsigned fleetSize = 4;
+
+    /** Per-victim noise rotation; empty = every victim uses noise. */
+    std::vector<std::string> fleetNoises;
+
+    /** Victim v's target page-line index:
+     *  (fleetLineIndexBase + fleetLineIndexStep * v) % 64. */
+    unsigned fleetLineIndexBase = 21;
+    unsigned fleetLineIndexStep = 13;
+
+    /** Per-victim request quota (0 = unlimited); see VictimConfig. */
+    std::uint64_t victimRequestQuota = 0;
+
+    /** A victim's key counts as recovered iff the correct SF set was
+     *  monitored and the mean recovered fraction / bit error rate of
+     *  its traces clear these bands. */
+    double keyMinRecoveredFraction = 0.35;
+    double keyMaxBitErrorRate = 0.35;
 
     std::size_t defaultTrials = 4; //!< trials when the caller passes 0
 
@@ -128,6 +160,17 @@ void runScenarioTrial(const ScenarioSpec &spec, TrialContext &ctx,
 ExperimentResult runScenario(const ScenarioSpec &spec,
                              std::size_t trials = 0, unsigned threads = 0,
                              std::uint64_t masterSeed = 42);
+
+/**
+ * Train the PSD trace classifier the way the paper does — offline,
+ * on a controlled victim instance of the same host class — using the
+ * rig's session, pool and the scenario's training-trace counts.
+ * Campaign trials train on an attacker-side replica victim, so the
+ * production victim's request quota stays untouched.
+ */
+TraceClassifier trainScenarioClassifier(const ScenarioSpec &spec,
+                                        ScenarioRig &rig,
+                                        VictimService &victim);
 
 /**
  * Record one trial's hierarchy PerfCounters under the canonical

@@ -80,6 +80,9 @@ welchPsd(const std::vector<double> &signal, double sample_rate_hz,
     const std::size_t seg = params.segmentLength;
     if (!isPowerOf2(seg))
         fatal("Welch segment length must be a power of two");
+    // A signal shorter than one segment yields zero segments to
+    // average — return the flagged empty estimate (est.valid() is
+    // false) instead of dividing by the segment count.
     if (signal.size() < seg || sample_rate_hz <= 0.0)
         return est;
 
@@ -122,6 +125,7 @@ welchPsd(const std::vector<double> &signal, double sample_rate_hz,
     if (segments == 0)
         return est;
 
+    est.segments = segments;
     const double scale = 1.0 / (sample_rate_hz * window_power *
                                 static_cast<double>(segments));
     est.frequency.resize(bins);

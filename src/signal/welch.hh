@@ -36,6 +36,18 @@ struct PsdEstimate
     std::vector<double> frequency; //!< Hz, given the sample rate
     std::vector<double> power;     //!< density at each frequency
 
+    /**
+     * Periodogram segments averaged into the estimate.  0 flags a
+     * degenerate input (signal shorter than one segment, or a
+     * non-positive sample rate): frequency/power are then empty and
+     * consumers must treat the estimate as "no signal" rather than
+     * derive scores from it.
+     */
+    std::size_t segments = 0;
+
+    /** True iff at least one segment was averaged. */
+    bool valid() const { return segments > 0; }
+
     /** Index of the strongest bin at or above @p min_hz. */
     std::size_t peakIndex(double min_hz = 0.0) const;
 

@@ -101,6 +101,12 @@ VictimService::triggerSigning(Cycles request_start)
     }
     exec.ladderEnd = static_cast<Cycles>(t);
     exec.iterationStarts.push_back(exec.ladderEnd);
+    // Closing boundary fetch: the loop-header line is touched once
+    // more when the ladder exits, matching the ground truth above
+    // (iterationStarts includes ladderEnd).  Without it the final
+    // iteration has no closing boundary and its bit is unrecoverable
+    // by construction.
+    target_times.push_back(exec.ladderEnd);
     exec.requestEnd = exec.ladderEnd +
         static_cast<Cycles>(other_time * 0.6);
     exec.targetAccesses = target_times;
@@ -124,6 +130,8 @@ VictimService::serveRequests(Cycles first_start, unsigned count)
     out.reserve(count);
     Cycles start = first_start;
     for (unsigned i = 0; i < count; ++i) {
+        if (remainingQuota() == 0)
+            break;
         Execution exec = triggerSigning(start);
         // Small think time between requests.
         const Cycles gap = static_cast<Cycles>(

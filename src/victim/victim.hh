@@ -20,6 +20,7 @@
 #ifndef LLCF_VICTIM_VICTIM_HH
 #define LLCF_VICTIM_VICTIM_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "crypto/ecdsa.hh"
@@ -53,6 +54,15 @@ struct VictimConfig
 
     /** Number of decoy code/data lines accessed at ladder frequency. */
     unsigned decoyLines = 3;
+
+    /**
+     * Lifetime request quota (0 = unlimited).  Models a rate-limited
+     * or short-lived victim service: once the quota is exhausted,
+     * serveRequests() returns fewer executions than asked — possibly
+     * none.  Campaign fleets use this to exercise the attack's
+     * partial-result paths.
+     */
+    std::uint64_t requestQuota = 0;
 
     std::uint64_t seed = 99;
 };
@@ -105,10 +115,23 @@ class VictimService
     /**
      * Schedule back-to-back requests starting at @p first_start,
      * with idle gaps so the ladder occupies ~dutyCycle of wall time.
-     * @return ground truth per request.
+     * Stops early once the request quota (if any) is exhausted, so
+     * the result may hold fewer than @p count executions — callers
+     * must not index it unchecked.
+     * @return ground truth per served request.
      */
     std::vector<Execution> serveRequests(Cycles first_start,
                                          unsigned count);
+
+    /** Requests still allowed by the quota (~0 when unlimited). */
+    std::uint64_t
+    remainingQuota() const
+    {
+        if (cfg_.requestQuota == 0)
+            return ~0ULL;
+        return cfg_.requestQuota - std::min(cfg_.requestQuota,
+                                            requestCounter_);
+    }
 
     /** Duration of one full request (ladder / dutyCycle) estimate. */
     Cycles expectedRequestCycles(std::size_t iterations) const;

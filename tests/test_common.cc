@@ -184,6 +184,17 @@ TEST(Stats, EmptyStatsAreSafe)
     EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
 }
 
+TEST(Stats, OrderStatisticsPanicOnEmpty)
+{
+    // Order statistics of an empty aggregate do not exist; reading
+    // one is an invariant violation, not silent garbage.
+    SampleStats s;
+    EXPECT_DEATH((void)s.min(), "empty");
+    EXPECT_DEATH((void)s.max(), "empty");
+    EXPECT_DEATH((void)s.median(), "empty");
+    EXPECT_DEATH((void)s.percentile(90.0), "empty");
+}
+
 TEST(Stats, SuccessRate)
 {
     SuccessRate r;

@@ -75,6 +75,65 @@ TEST(Json, EmptyContainers)
     EXPECT_EQ(w.str(), "{\n  \"a\": [],\n  \"o\": {}\n}");
 }
 
+TEST(Json, ExplicitNullValues)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("missing").null();
+    w.key("arr").beginArray().null().value(1.0).endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\n"
+              "  \"missing\": null,\n"
+              "  \"arr\": [\n"
+              "    null,\n"
+              "    1\n"
+              "  ]\n"
+              "}");
+}
+
+TEST(Json, EmptyStatsSerialiseAsNulls)
+{
+    // An all-miss experiment leaves aggregates like the bit-error
+    // rate empty.  The serialised object must say so explicitly
+    // (count 0, null moments) — never NaN text or fabricated zeros.
+    SampleStats empty;
+    JsonWriter w;
+    writeStatsObject(w, empty);
+    EXPECT_EQ(w.str(),
+              "{\n"
+              "  \"count\": 0,\n"
+              "  \"mean\": null,\n"
+              "  \"stddev\": null\n"
+              "}");
+
+    JsonValue parsed;
+    ASSERT_TRUE(parseJson(w.str(), parsed));
+    ASSERT_NE(parsed.find("mean"), nullptr);
+    EXPECT_TRUE(parsed.find("mean")->isNull());
+    EXPECT_EQ(parsed.find("min"), nullptr); // order stats omitted
+}
+
+TEST(Json, PopulatedStatsKeepTheHistoricalShape)
+{
+    SampleStats s;
+    s.add(0.0);
+    s.add(4.0);
+    JsonWriter w;
+    writeStatsObject(w, s);
+    EXPECT_EQ(w.str(),
+              "{\n"
+              "  \"count\": 2,\n"
+              "  \"mean\": 2,\n"
+              "  \"stddev\": 2,\n"
+              "  \"min\": 0,\n"
+              "  \"p10\": 0.4,\n"
+              "  \"median\": 2,\n"
+              "  \"p90\": 3.6,\n"
+              "  \"max\": 4\n"
+              "}");
+}
+
 // ----------------------------------------------------------- thread pool
 
 TEST(ThreadPool, RunsEveryIndexExactlyOnce)

@@ -47,8 +47,9 @@ TEST(Registry, BuiltinsSpanTheMatrix)
     EXPECT_EQ(repls.size(), 4u);
     // At least two noise regimes.
     EXPECT_GE(noises.size(), 2u);
-    // Every pipeline stage.
-    EXPECT_EQ(stages.size(), 3u);
+    // Every pipeline stage (campaigns included since PR 4).
+    EXPECT_EQ(stages.size(), 4u);
+    EXPECT_TRUE(stages.count(ScenarioStage::Campaign));
 }
 
 TEST(Registry, SpecsResolveToValidWorlds)

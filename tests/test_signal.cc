@@ -155,6 +155,36 @@ TEST(Welch, ShortSignalReturnsEmpty)
     EXPECT_TRUE(psd.power.empty());
 }
 
+TEST(Welch, DegenerateInputsAreFlaggedNotNan)
+{
+    // Inputs with zero segments to average (shorter than one segment,
+    // or an empty signal) must return a flagged estimate — not divide
+    // by the zero segment count and propagate NaN downstream.
+    WelchParams params;
+    params.segmentLength = 256;
+    for (std::size_t n : {std::size_t{0}, std::size_t{255}}) {
+        auto psd = welchPsd(std::vector<double>(n, 1.0), 1000.0,
+                            params);
+        EXPECT_FALSE(psd.valid());
+        EXPECT_EQ(psd.segments, 0u);
+        EXPECT_TRUE(psd.power.empty());
+        // Every derived quantity stays finite and well-defined.
+        EXPECT_EQ(psd.totalPower(), 0.0);
+        EXPECT_EQ(psd.powerAt(100.0), 0.0);
+        EXPECT_EQ(psd.peakIndex(), 0u);
+        EXPECT_FALSE(std::isnan(harmonicScore(psd, 100.0)));
+    }
+    // A non-positive sample rate is equally degenerate.
+    auto psd = welchPsd(std::vector<double>(1024, 1.0), 0.0, params);
+    EXPECT_FALSE(psd.valid());
+
+    // One-segment inputs are the smallest valid estimate.
+    auto ok = welchPsd(std::vector<double>(256, 1.0), 1000.0, params);
+    EXPECT_TRUE(ok.valid());
+    EXPECT_EQ(ok.segments, 1u);
+    EXPECT_EQ(ok.power.size(), 129u);
+}
+
 TEST(Welch, PowerAtNearestBin)
 {
     std::vector<double> signal(2048);

@@ -78,7 +78,10 @@ TEST_F(VictimTest, AccessPatternFollowsFigure8)
         EXPECT_EQ(count, exec.bits[i] == 0 ? 2u : 1u)
             << "iteration " << i;
     }
-    EXPECT_EQ(ai, exec.targetAccesses.size());
+    // One access remains: the closing boundary fetch at ladder exit,
+    // matching the extra iterationStarts entry.
+    ASSERT_EQ(ai + 1, exec.targetAccesses.size());
+    EXPECT_EQ(exec.targetAccesses.back(), exec.ladderEnd);
 }
 
 TEST_F(VictimTest, MidpointConventionFlips)
@@ -169,6 +172,25 @@ TEST_F(VictimTest, NoncesDifferAcrossRequests)
     auto execs = victim_->serveRequests(machine_.now(), 2);
     EXPECT_NE(execs[0].record.nonce, execs[1].record.nonce);
     EXPECT_NE(execs[0].bits, execs[1].bits);
+}
+
+TEST_F(VictimTest, RequestQuotaExhaustsToEmpty)
+{
+    VictimConfig limited = cfg_;
+    limited.requestQuota = 2;
+    Machine m2(tinyTest(), silent(), 87);
+    VictimService v2(m2, limited);
+    EXPECT_EQ(v2.remainingQuota(), 2u);
+
+    auto first = v2.serveRequests(m2.now(), 5);
+    EXPECT_EQ(first.size(), 2u); // clipped at the quota
+    EXPECT_EQ(v2.remainingQuota(), 0u);
+
+    auto second = v2.serveRequests(m2.now(), 1);
+    EXPECT_TRUE(second.empty()); // exhausted: no execution at all
+
+    // Unlimited victims never clip.
+    EXPECT_EQ(victim_->remainingQuota(), ~0ULL);
 }
 
 } // namespace
