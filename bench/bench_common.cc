@@ -99,4 +99,45 @@ benchWriteSuite(const ExperimentSuite &suite)
     return 0;
 }
 
+bool
+benchLoadBaseline(const std::string &path, JsonValue &doc)
+{
+    std::string err;
+    if (!loadJsonFile(path, doc, &err)) {
+        std::fprintf(stderr, "baseline: %s\n", err.c_str());
+        return false;
+    }
+    const JsonValue *list = doc.find("benchmarks");
+    if (!list || !list->isArray()) {
+        std::fprintf(stderr, "baseline %s: no benchmarks array\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+double
+benchBaselineTolerance(const JsonValue &doc, const char *key,
+                       double def)
+{
+    const JsonValue *t = doc.find("context", key);
+    return t && t->isNumber() ? t->asNumber() : def;
+}
+
+const JsonValue *
+benchBaselineEntry(const JsonValue &doc, const std::string &name)
+{
+    const JsonValue *list = doc.find("benchmarks");
+    if (!list || !list->isArray())
+        return nullptr;
+    for (const JsonValue &b : list->items()) {
+        const JsonValue *bn = b.find("name");
+        if (bn && bn->kind() == JsonValue::Kind::String &&
+            bn->asString() == name) {
+            return &b;
+        }
+    }
+    return nullptr;
+}
+
 } // namespace llcf

@@ -55,6 +55,33 @@ void benchPrintHeader(const char *title);
  */
 int benchWriteSuite(const ExperimentSuite &suite);
 
+// ------------------------------------------------- baseline gates
+//
+// Shared plumbing for benches that gate --smoke runs against a
+// checked-in BENCH_*.json baseline (bench_hotpath, bench_e2e,
+// bench_calib).  Gates run *before* the suite is written so a run
+// whose output path equals the baseline cannot gate against itself.
+
+/**
+ * Load a baseline document and verify it has a "benchmarks" array.
+ * Prints the reason to stderr and returns false on failure, so a
+ * stale or unreadable baseline counts as a gate violation rather
+ * than a silent pass.
+ */
+bool benchLoadBaseline(const std::string &path, JsonValue &doc);
+
+/**
+ * A gate tolerance recorded in the baseline's "context" object, or
+ * @p def when absent — baselines carry their own bands so regenerated
+ * documents and gate code cannot drift apart.
+ */
+double benchBaselineTolerance(const JsonValue &doc, const char *key,
+                              double def);
+
+/** The "benchmarks" entry named @p name, or nullptr. */
+const JsonValue *benchBaselineEntry(const JsonValue &doc,
+                                    const std::string &name);
+
 /** Slice count for bench machines (28 at full scale, 8 scaled). */
 inline unsigned
 benchSlices()

@@ -116,38 +116,17 @@ unsigned
 gateAgainstBaseline(const CampaignSuite &suite, const std::string &path)
 {
     JsonValue doc;
-    std::string err;
-    if (!loadJsonFile(path, doc, &err)) {
-        std::fprintf(stderr, "baseline: %s\n", err.c_str());
+    if (!benchLoadBaseline(path, doc))
         return 1;
-    }
-    double rate_tol = kRateTolerance;
-    if (const JsonValue *t = doc.find("context", "rate_tolerance"))
-        rate_tol = t->asNumber();
-    double cyc_tol = kCyclesTolerance;
-    if (const JsonValue *t = doc.find("context", "cycles_tolerance"))
-        cyc_tol = t->asNumber();
-    const JsonValue *bench_list = doc.find("benchmarks");
-    if (!bench_list || !bench_list->isArray()) {
-        std::fprintf(stderr, "baseline %s: no benchmarks array\n",
-                     path.c_str());
-        return 1;
-    }
-    auto baselineFor = [&](const std::string &name) -> const JsonValue * {
-        for (const JsonValue &b : bench_list->items()) {
-            const JsonValue *bn = b.find("name");
-            if (bn && bn->kind() == JsonValue::Kind::String &&
-                bn->asString() == name) {
-                return &b;
-            }
-        }
-        return nullptr;
-    };
+    const double rate_tol =
+        benchBaselineTolerance(doc, "rate_tolerance", kRateTolerance);
+    const double cyc_tol = benchBaselineTolerance(
+        doc, "cycles_tolerance", kCyclesTolerance);
 
     unsigned violations = 0;
     for (const CampaignResult &r : suite.results()) {
         const std::string &name = r.experiment.name();
-        const JsonValue *base = baselineFor(name);
+        const JsonValue *base = benchBaselineEntry(doc, name);
         if (!base) {
             std::fprintf(stderr,
                          "FAIL %s: campaign missing from baseline "

@@ -301,35 +301,15 @@ gateAgainstBaseline(const ExperimentSuite &suite,
                     const std::string &path)
 {
     JsonValue doc;
-    std::string err;
-    if (!loadJsonFile(path, doc, &err)) {
-        std::fprintf(stderr, "baseline: %s\n", err.c_str());
+    if (!benchLoadBaseline(path, doc))
         return 1;
-    }
-    double tol = kGateTolerance;
-    if (const JsonValue *t = doc.find("context", "tolerance"))
-        tol = t->asNumber();
-    const JsonValue *bench_list = doc.find("benchmarks");
-    if (!bench_list || !bench_list->isArray()) {
-        std::fprintf(stderr, "baseline %s: no benchmarks array\n",
-                     path.c_str());
-        return 1;
-    }
-    auto baselineFor = [&](const std::string &name) -> const JsonValue * {
-        for (const JsonValue &b : bench_list->items()) {
-            const JsonValue *bn = b.find("name");
-            if (bn && bn->kind() == JsonValue::Kind::String &&
-                bn->asString() == name) {
-                return &b;
-            }
-        }
-        return nullptr;
-    };
+    const double tol =
+        benchBaselineTolerance(doc, "tolerance", kGateTolerance);
 
     unsigned violations = 0;
     const char *suffix = "_cycles_per_access";
     for (const ExperimentResult &r : suite.results()) {
-        const JsonValue *base = baselineFor(r.name());
+        const JsonValue *base = benchBaselineEntry(doc, r.name());
         if (!base) {
             std::fprintf(stderr,
                          "FAIL %s: cell missing from baseline "

@@ -69,11 +69,14 @@ benchMain(bool list, bool smoke, bool scenario_given,
 
     std::vector<const ScenarioSpec *> specs;
     if (!scenario_given) {
-        // The default matrix stops at the single-victim stages:
-        // victim-fleet campaigns are bench_e2e's domain (and cost).
-        // They stay addressable here via --scenario=campaign-*.
+        // The default matrix stops at the single-victim attack
+        // stages: victim-fleet campaigns are bench_e2e's domain and
+        // Step-0 calibration is bench_calib's (both for cost and for
+        // their own baseline gates).  Both stay addressable here via
+        // --scenario=campaign-* / --scenario=calib-*.
         for (const ScenarioSpec &s : reg.all()) {
-            if (s.stage != ScenarioStage::Campaign)
+            if (s.stage != ScenarioStage::Campaign &&
+                s.stage != ScenarioStage::Calibrate)
                 specs.push_back(&s);
         }
     } else if (!selection.empty()) {

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Verify that every in-repo markdown link resolves to an existing file
+# or directory.  External links (http/https/mailto) and pure anchors
+# are skipped; anchors on local links are stripped before the check.
+# Usage: scripts/check_md_links.sh [root]   (default: repo root)
+set -u
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root" || exit 2
+
+# Tracked markdown only: scratch notes in ignored build trees do not
+# get to fail CI.  Targets are handled line-by-line (never
+# word-split), so paths with spaces stay intact.
+broken=$(
+    git ls-files '*.md' | while IFS= read -r md; do
+        dir=$(dirname "$md")
+        # Extract the (target) of every [text](target) link, skipping
+        # fenced code blocks (example links must not fail CI) and
+        # stripping an optional quoted markdown title.
+        awk '/^[[:space:]]*```/ { fence = !fence; next } !fence' \
+            "$md" |
+            grep -o '](\([^)]*\))' | sed 's/^](//; s/)$//' |
+            sed 's/[[:space:]]*"[^"]*"$//' |
+            while IFS= read -r target; do
+                case "$target" in
+                  http://*|https://*|mailto:*|'#'*|'') continue ;;
+                esac
+                path=${target%%#*}
+                [ -n "$path" ] || continue
+                # Relative to the file; a leading / is repo-root.
+                case "$path" in
+                  /*) resolved=".$path" ;;
+                  *) resolved="$dir/$path" ;;
+                esac
+                if [ ! -e "$resolved" ]; then
+                    printf '%s: broken link -> %s\n' "$md" "$target"
+                fi
+            done
+    done
+)
+
+if [ -n "$broken" ]; then
+    printf '%s\n' "$broken"
+    exit 1
+fi
+echo "markdown links: all local targets resolve"
+exit 0

@@ -84,7 +84,10 @@ ScannerTrainer::collect(const TraceClassifier &featurizer,
 {
     Machine &m = session_.machine();
     const auto &params = featurizer.params();
-    const unsigned w_sf = m.config().sf.ways;
+    // Set sizing follows the attacker's (possibly calibrated) W_SF;
+    // the membership labels below stay ground truth — training is
+    // offline on hosts the experimenter controls.
+    const unsigned w_sf = session_.topology().wSf;
     Dataset data;
 
     // Ground-truth eviction sets: training is offline on hosts the

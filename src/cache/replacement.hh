@@ -454,6 +454,7 @@ class ReplPolicyFor : public ReplPolicy
     }
 };
 
+/** Virtual wrappers of the four policy ops (reference models). */
 using LruPolicy = ReplPolicyFor<LruOps>;
 using TreePlruPolicy = ReplPolicyFor<TreePlruOps>;
 using SrripPolicy = ReplPolicyFor<SrripOps>;

@@ -40,4 +40,34 @@ makeOpaqueSliceHash(unsigned n_slices, std::uint64_t salt)
     return std::make_unique<OpaqueSliceHash>(n_slices, salt);
 }
 
+const char *
+sliceHashKindName(SliceHashKind kind)
+{
+    switch (kind) {
+      case SliceHashKind::Opaque:
+        return "opaque";
+      case SliceHashKind::XorMatrix:
+        return "xor-matrix";
+    }
+    return "?";
+}
+
+std::unique_ptr<SliceHash>
+makeSliceHash(const SliceHashParams &params)
+{
+    switch (params.kind) {
+      case SliceHashKind::Opaque:
+        if (!params.masks.empty())
+            fatal("opaque slice hash takes no masks");
+        return std::make_unique<OpaqueSliceHash>(params.slices,
+                                                 params.salt);
+      case SliceHashKind::XorMatrix:
+        if (params.slices != (1u << params.masks.size()))
+            fatal("XOR slice hash: %zu masks cannot produce %u slices",
+                  params.masks.size(), params.slices);
+        return std::make_unique<XorMatrixSliceHash>(params.masks);
+    }
+    fatal("unknown slice-hash kind");
+}
+
 } // namespace llcf

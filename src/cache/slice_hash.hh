@@ -12,6 +12,15 @@
  *    attacker-opaque, all-bit-dependent) and supports any slice count.
  *  - XorMatrixSliceHash: the classic documented XOR-of-bit-masks hash
  *    for power-of-two slice counts, for machines where that applies.
+ *
+ * Both models are instances of one *parameterized family*
+ * (SliceHashParams + makeSliceHash): a machine's hash is fully
+ * described by a small parameter record, and the Step-0 topology
+ * prober (src/calib/) fits the parameters it can observe — the slice
+ * count, and the hash kind it assumes — from timing alone.  The salt
+ * is attacker-unobservable by design: any salt yields a hash that is
+ * observation-equivalent to the true one up to a relabeling of the
+ * slices, which is all the eviction-set techniques need.
  */
 
 #ifndef LLCF_CACHE_SLICE_HASH_HH
@@ -110,6 +119,60 @@ class XorMatrixSliceHash : public SliceHash
 /** Build the default opaque hash for a machine. */
 std::unique_ptr<SliceHash> makeOpaqueSliceHash(unsigned n_slices,
                                                std::uint64_t salt);
+
+/** Selector of one member of the slice-hash family. */
+enum class SliceHashKind
+{
+    Opaque,    //!< keyed pseudo-random hash, any slice count
+    XorMatrix, //!< documented XOR-of-masks hash, power-of-two slices
+};
+
+/** Human-readable hash-kind name. */
+const char *sliceHashKindName(SliceHashKind kind);
+
+/**
+ * Parameter record fully describing one member of the slice-hash
+ * family.  A MachineConfig derives its record via sliceHashParams()
+ * and the simulator instantiates the hash from it, so a record round-
+ * trips bit-for-bit (pinned by tests/test_calib.cc goldens).  The
+ * Step-0 prober emits a fitted record as part of CalibratedTopology.
+ */
+struct SliceHashParams
+{
+    SliceHashKind kind = SliceHashKind::Opaque;
+    unsigned slices = 1;      //!< slice count (any value for Opaque)
+    std::uint64_t salt = 0;   //!< per-machine key (Opaque only)
+    std::vector<Addr> masks;  //!< PA bit masks (XorMatrix only)
+
+    /** Record for an opaque hash. */
+    static SliceHashParams
+    opaque(unsigned n_slices, std::uint64_t salt)
+    {
+        SliceHashParams p;
+        p.kind = SliceHashKind::Opaque;
+        p.slices = n_slices;
+        p.salt = salt;
+        return p;
+    }
+
+    /** Record for an XOR-matrix hash (one mask per slice-index bit). */
+    static SliceHashParams
+    xorMatrix(std::vector<Addr> masks)
+    {
+        SliceHashParams p;
+        p.kind = SliceHashKind::XorMatrix;
+        p.slices = 1u << masks.size();
+        p.masks = std::move(masks);
+        return p;
+    }
+};
+
+/**
+ * Instantiate the family member @p params describes.  Fatal on an
+ * inconsistent record (e.g. XorMatrix whose mask count does not match
+ * the slice count).
+ */
+std::unique_ptr<SliceHash> makeSliceHash(const SliceHashParams &params);
 
 } // namespace llcf
 

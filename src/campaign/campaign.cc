@@ -50,6 +50,36 @@ runCampaignVictimTrial(const ScenarioSpec &spec, TrialContext &ctx,
     victimSpec.noise = fleetNoiseFor(spec, ctx.index);
     ScenarioRig rig(victimSpec, ctx.seed);
 
+    // Blind campaigns run Step 0 first; its cycles are charged to the
+    // victim's total attack cost (and therefore to the fleet's
+    // cycles-per-recovered-key headline).
+    Cycles calibCycles = 0;
+    if (victimSpec.blind()) {
+        CalibratedTopology calib =
+            runScenarioCalibration(victimSpec, rig);
+        recordCalibration(rec, calib,
+                          compareToOracle(calib,
+                                          rig.machine.config()));
+        calibCycles = calib.cycles;
+        if (!calib.valid) {
+            // Step 0 came home empty: the attack cannot proceed.
+            // Record the explicit empty outcomes so the fleet
+            // aggregates stay comparable with successful victims.
+            rec.outcome("evsets_built", false);
+            rec.outcome("target_found", false);
+            rec.outcome("target_correct", false);
+            rec.outcome("key_recovered", false);
+            rec.metric("build_cycles", 0.0);
+            rec.metric("scan_cycles", 0.0);
+            rec.metric("extract_cycles", 0.0);
+            rec.metric("total_cycles",
+                       static_cast<double>(calibCycles));
+            rec.metric("traces_collected", 0.0);
+            recordPerfCounters(rec, rig.machine.perfCounters());
+            return;
+        }
+    }
+
     VictimConfig vcfg;
     vcfg.seed = streamSeed(rig.victimSeed(), kProductionVictim);
     vcfg.targetLineIndex = fleetLineIndexFor(spec, ctx.index);
@@ -90,7 +120,8 @@ runCampaignVictimTrial(const ScenarioSpec &spec, TrialContext &ctx,
     rec.metric("build_cycles", static_cast<double>(res.buildTime));
     rec.metric("scan_cycles", static_cast<double>(res.scanTime));
     rec.metric("extract_cycles", static_cast<double>(res.extractTime));
-    rec.metric("total_cycles", static_cast<double>(res.totalTime()));
+    rec.metric("total_cycles",
+               static_cast<double>(res.totalTime() + calibCycles));
     rec.metric("traces_collected",
                static_cast<double>(res.tracesCollected));
     for (double v : res.recoveredFraction.samples())

@@ -297,6 +297,61 @@ BinarySearchPruner::prune(AttackSession &session, Addr ta,
     return res;
 }
 
+BlindReduceResult
+blindReduceToMinimal(AttackSession &session, Addr ta,
+                     std::vector<Addr> cands, Cycles deadline,
+                     TestTarget target)
+{
+    BlindReduceResult out;
+    auto test = [&](const std::vector<Addr> &s) {
+        ++out.tests;
+        return session.testEviction(target, ta, s, s.size());
+    };
+
+    // The pool must evict to begin with (one retry damps noise).
+    if (cands.empty() || (!test(cands) && !test(cands)))
+        return out;
+
+    std::vector<Addr> s = std::move(cands);
+    bool changed = true;
+    while (changed && !session.expired(deadline)) {
+        changed = false;
+        // Try removing progressively smaller blocks; a removal
+        // sticks iff the remainder still evicts the target.
+        for (std::size_t block = s.size() / 2; block >= 1;
+             block /= 2) {
+            std::size_t i = 0;
+            while (i < s.size() && s.size() > block) {
+                if (session.expired(deadline))
+                    return out;
+                const std::size_t cut = std::min(block, s.size() - i);
+                std::vector<Addr> t;
+                t.reserve(s.size() - cut);
+                t.insert(t.end(), s.begin(),
+                         s.begin() + static_cast<long>(i));
+                t.insert(t.end(),
+                         s.begin() + static_cast<long>(i + cut),
+                         s.end());
+                if (!t.empty() && test(t)) {
+                    s = std::move(t);
+                    changed = true;
+                } else {
+                    i += cut;
+                }
+            }
+        }
+    }
+
+    // Two consecutive positives confirm the survivor still evicts —
+    // a reduction broken by a noise-lucky removal fails here instead
+    // of reporting a too-small "associativity".
+    if (session.expired(deadline) || !test(s) || !test(s))
+        return out;
+    out.success = true;
+    out.evset = std::move(s);
+    return out;
+}
+
 std::unique_ptr<Pruner>
 makePruner(PruneAlgo algo)
 {

@@ -153,6 +153,30 @@ bool verifyEvictionSet(AttackSession &session, Addr ta,
                        const std::vector<Addr> &evset, unsigned votes = 3,
                        TestTarget target = TestTarget::Llc);
 
+/** Outcome of a blind (associativity-unknown) reduction. */
+struct BlindReduceResult
+{
+    bool success = false;
+    std::vector<Addr> evset; //!< minimal set; its size measures W
+    unsigned tests = 0;      //!< TestEviction executions consumed
+};
+
+/**
+ * Reduce @p cands to a *minimal* eviction set for @p ta without
+ * knowing the target associativity — the group-testing primitive
+ * Step-0 calibration rests on, usable before the slice hash or any
+ * way count has been measured.  Shrinking blocks are removed while
+ * the remainder still evicts (each removal re-tested by TestEviction),
+ * then single members, until no member can be dropped; the final
+ * size *is* the measured associativity.  Noise can break a reduction
+ * (a false-positive test discards needed members); the final double
+ * verification catches that and reports failure so callers retry.
+ */
+BlindReduceResult blindReduceToMinimal(AttackSession &session, Addr ta,
+                                       std::vector<Addr> cands,
+                                       Cycles deadline,
+                                       TestTarget target = TestTarget::Llc);
+
 } // namespace llcf
 
 #endif // LLCF_EVSET_ALGORITHMS_HH

@@ -21,14 +21,14 @@ EvictionSetBuilder::extendToSf(Addr ta, const std::vector<Addr> &llc_set,
                                const std::vector<Addr> &cands,
                                Cycles deadline)
 {
-    const MachineConfig &cfg = session_.machine().config();
+    const TopologyView &topo = session_.topology();
     const unsigned w_llc = static_cast<unsigned>(llc_set.size());
     // W_SF - W_LLC further congruent addresses are needed: 1 on
     // Skylake-SP (12- vs 11-way) but 4 on Ice Lake-SP (16- vs
     // 12-way).  LLC and SF share the set mapping and slice hash, so
     // LLC-congruence is the membership test.
     const unsigned needed =
-        cfg.sf.ways > w_llc ? cfg.sf.ways - w_llc : 1;
+        topo.wSf > w_llc ? topo.wSf - w_llc : 1;
 
     std::unordered_set<Addr> exclude(llc_set.begin(), llc_set.end());
     exclude.insert(ta);
@@ -71,7 +71,7 @@ std::optional<BuiltEvictionSet>
 EvictionSetBuilder::attemptBuild(Addr ta, const std::vector<Addr> &cands,
                                  Cycles deadline, unsigned *backtracks)
 {
-    const unsigned w_llc = session_.machine().config().llc.ways;
+    const unsigned w_llc = session_.topology().wLlc;
 
     std::vector<Addr> working = cands;
     session_.rng().shuffle(working);
@@ -132,7 +132,7 @@ EvictionSetBuilder::buildForTarget(Addr ta, std::vector<Addr> cands)
                 continue; // attempt consumed by a failed filter build
             working = filter_.filter(*l2set, working);
             filtered = true;
-            if (working.size() < m.config().sf.ways)
+            if (working.size() < session_.topology().wSf)
                 break; // filtering left too few candidates
         }
 
@@ -170,7 +170,7 @@ EvictionSetBuilder::buildClass(std::vector<Addr> members,
                                BulkOutcome &out)
 {
     Machine &m = session_.machine();
-    const unsigned w_sf = m.config().sf.ways;
+    const unsigned w_sf = session_.topology().wSf;
     session_.rng().shuffle(members);
 
     std::vector<BuiltEvictionSet> class_sets;
@@ -228,7 +228,9 @@ EvictionSetBuilder::buildAtLineIndex(const CandidatePool &pool,
 {
     Machine &m = session_.machine();
     BulkOutcome out;
-    out.expectedSets = m.config().sf.uncertainty();
+    // The attacker's own coverage expectation: its (possibly
+    // calibrated) uncertainty U, not the oracle's.
+    out.expectedSets = session_.topology().uncertainty();
     const Cycles start = m.now();
 
     std::vector<Addr> cands = pool.candidatesAt(line_index);
@@ -258,7 +260,7 @@ EvictionSetBuilder::buildWholeSystem(const CandidatePool &pool,
     }
 
     BulkOutcome out;
-    out.expectedSets = m.config().sf.uncertainty() *
+    out.expectedSets = session_.topology().uncertainty() *
                        static_cast<unsigned>(line_indices.size());
     const Cycles start = m.now();
 

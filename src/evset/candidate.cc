@@ -45,4 +45,12 @@ CandidatePool::requiredPages(const Machine &machine, double factor)
         std::ceil(factor * sf.uncertainty() * sf.ways));
 }
 
+std::size_t
+CandidatePool::requiredPagesBlind(unsigned assumed_uncertainty,
+                                  unsigned assumed_ways, double factor)
+{
+    return static_cast<std::size_t>(
+        std::ceil(factor * assumed_uncertainty * assumed_ways));
+}
+
 } // namespace llcf

@@ -55,10 +55,23 @@ class CandidatePool
 
     /**
      * Pool size needed for one construction campaign on @p machine:
-     * ceil(factor * U_sf * W_sf) pages.
+     * ceil(factor * U_sf * W_sf) pages.  Oracle sizing — reads the
+     * machine's true geometry; blind attackers size with
+     * requiredPagesBlind instead.
      */
     static std::size_t requiredPages(const Machine &machine,
                                      double factor);
+
+    /**
+     * Pool size for a blind attacker who has not calibrated yet:
+     * ceil(factor * assumed_uncertainty * assumed_ways) pages from the
+     * attacker's prior upper bounds on U and W (a cloud tenant knows
+     * the host family from cpuid, not the exact part).  Oversizing
+     * only costs memory; undersizing makes Step 0 and Step 1 fail.
+     */
+    static std::size_t requiredPagesBlind(unsigned assumed_uncertainty,
+                                          unsigned assumed_ways,
+                                          double factor);
 
   private:
     std::vector<Addr> framePa_; //!< page-aligned translated bases

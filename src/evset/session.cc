@@ -1,11 +1,50 @@
 #include "session.hh"
 
+#include "common/log.hh"
+
 namespace llcf {
+
+TopologyView
+TopologyView::fromConfig(const MachineConfig &cfg)
+{
+    TopologyView v;
+    v.wLlc = cfg.llc.ways;
+    v.wSf = cfg.sf.ways;
+    v.slices = cfg.sf.slices;
+    v.uncontrolledIndexBits = cfg.sf.uncontrolledIndexBits();
+    v.fromOracle = true;
+    return v;
+}
 
 AttackSession::AttackSession(Machine &machine, const AttackerConfig &cfg)
     : machine_(machine), cfg_(cfg), space_(machine.newAddressSpace()),
       rng_(mix64(cfg.seed ^ 0xa77ac3))
 {
+    if (!cfg.blindTopology) {
+        topology_ = TopologyView::fromConfig(machine.config());
+        topologyKnown_ = true;
+    }
+}
+
+const TopologyView &
+AttackSession::topology() const
+{
+    if (!topologyKnown_)
+        fatal("blind attack session consulted the shared-cache "
+              "topology before calibrating it (run the Step-0 "
+              "TopologyProber and adoptTopology() first)");
+    return topology_;
+}
+
+void
+AttackSession::adoptTopology(const TopologyView &view)
+{
+    if (view.wLlc == 0 || view.wSf == 0 || view.slices == 0)
+        fatal("refusing to adopt a degenerate topology view "
+              "(W_LLC %u, W_SF %u, %u slices)",
+              view.wLlc, view.wSf, view.slices);
+    topology_ = view;
+    topologyKnown_ = true;
 }
 
 bool

@@ -24,6 +24,43 @@ namespace llcf {
 /** Which structure a generic TestEviction targets. */
 enum class TestTarget { Llc, PrivateL2 };
 
+/**
+ * The attacker's view of the *shared* cache topology — the four
+ * parameters every eviction-set procedure consumes.  In oracle mode
+ * the view is copied from MachineConfig; in blind mode it starts
+ * unknown and is produced by the Step-0 TopologyProber (src/calib/)
+ * from timing observations alone.  Private-cache (L1/L2) geometry is
+ * deliberately absent: the attacker can query its own core's caches
+ * through cpuid, so the L2 filter keeps reading the config.
+ */
+struct TopologyView
+{
+    unsigned wLlc = 0;   //!< LLC associativity W_LLC
+    unsigned wSf = 0;    //!< SF associativity W_SF
+    unsigned slices = 1; //!< LLC/SF slice count
+    /** Shared set-index bits the page offset does not control. */
+    unsigned uncontrolledIndexBits = 0;
+    bool fromOracle = false; //!< true when copied from MachineConfig
+
+    /** Cache uncertainty U: congruence classes per page offset. */
+    unsigned
+    uncertainty() const
+    {
+        return (1u << uncontrolledIndexBits) * slices;
+    }
+
+    /** Shared sets per slice implied by the view (index bits =
+     *  uncontrolled bits + the 6 page-controlled ones). */
+    unsigned
+    setsPerSlice() const
+    {
+        return 1u << (uncontrolledIndexBits + (kPageBits - kLineBits));
+    }
+
+    /** The oracle view of @p cfg's shared structures. */
+    static TopologyView fromConfig(const MachineConfig &cfg);
+};
+
 /** Knobs of the attacker program. */
 struct AttackerConfig
 {
@@ -47,6 +84,15 @@ struct AttackerConfig
 
     /** Candidate set size factor: N = factor * U * W (paper: 3). */
     double candidateFactor = 3.0;
+
+    /**
+     * Blind-topology mode: the session starts with no shared-geometry
+     * knowledge, and consulting topology() before adoptTopology()
+     * is fatal.  The oracle default mirrors the paper's local-machine
+     * experiments where the part number (and thus the geometry) is
+     * known.
+     */
+    bool blindTopology = false;
 };
 
 /**
@@ -64,6 +110,21 @@ class AttackSession
 
     /** Number of TestEviction executions so far (all flavours). */
     std::uint64_t testCount() const { return testCount_; }
+
+    // ------------------------------------------------- topology view
+
+    /**
+     * The attacker's shared-cache topology.  Fatal when the session is
+     * blind and no CalibratedTopology has been adopted yet — attack
+     * code structurally cannot fall back to oracle geometry.
+     */
+    const TopologyView &topology() const;
+
+    /** True once topology() may be consulted. */
+    bool topologyKnown() const { return topologyKnown_; }
+
+    /** Install a (calibrated) topology view; fatal on a zero-way one. */
+    void adoptTopology(const TopologyView &view);
 
     // -------------------------------------------------- primitives
 
@@ -116,6 +177,8 @@ class AttackSession
     std::unique_ptr<AddressSpace> space_;
     Rng rng_;
     std::uint64_t testCount_ = 0;
+    TopologyView topology_;
+    bool topologyKnown_ = false;
 };
 
 } // namespace llcf

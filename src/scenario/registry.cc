@@ -62,6 +62,26 @@ campaignBase(const char *name, const char *description,
     return s;
 }
 
+/**
+ * Calibration skeleton: Step-0-only scenarios measuring blind
+ * topology recovery accuracy and cost (bench_calib's domain).
+ */
+ScenarioSpec
+calibBase(const char *name, const char *description,
+          ScenarioMachine machine, unsigned slices, ReplKind repl,
+          const char *noise_key)
+{
+    ScenarioSpec s = base(name, description, ScenarioStage::Calibrate,
+                          machine, slices, repl, noise_key,
+                          PruneAlgo::BinS);
+    s.defaultTrials = 2;
+    // At the full-size hosts' U=64 a 160-page window yields too few
+    // congruence hits for a stable estimate; membership tests are
+    // cheap (two short TestEvictions each), so scan wider.
+    s.calibSamplePages = 896;
+    return s;
+}
+
 ScenarioRegistry
 makeBuiltins()
 {
@@ -207,6 +227,71 @@ makeBuiltins()
         s.fleetNoises = {"silent", "quiescent-local"};
         s.scanTimeoutSec = 1.0;
         s.victimRequestQuota = 200;
+        reg.add(s);
+    }
+
+    // ---- Step-0 blind topology calibration (bench_calib's domain):
+    // oracle-free recovery of W_LLC / W_SF / slices / uncertainty,
+    // gated per field against the true config.  The oracle
+    // counterparts of these cells are the build-*/campaign-*
+    // scenarios above, which consume MachineConfig directly.
+    reg.add(calibBase(
+        "calib-skl-lru-quiet",
+        "Blind calibration on Skylake-SP in the quiet hours",
+        M::SkylakeSp, 2, R::LRU, "quiet"));
+    reg.add(calibBase(
+        "calib-skl-lru-cloud",
+        "Blind calibration on Skylake-SP under Cloud Run noise",
+        M::SkylakeSp, 2, R::LRU, "cloud"));
+    // Stress cell: Tree-PLRU defeats single-pass traversal at the
+    // 11/12-way Skylake geometry, so reductions often fail or
+    // mis-measure — the matrix documents the degradation.
+    reg.add(calibBase(
+        "calib-skl-plru-quiet",
+        "Stress: blind calibration vs a Tree-PLRU LLC/SF",
+        M::SkylakeSp, 2, R::TreePLRU, "quiet"));
+    reg.add(calibBase(
+        "calib-icx-lru-quiet",
+        "Blind calibration on Ice Lake-SP (16-way SF) when quiet",
+        M::IceLakeSp, 2, R::LRU, "quiet"));
+    reg.add(calibBase(
+        "calib-icx-lru-cloud",
+        "Blind calibration on Ice Lake-SP under Cloud Run noise",
+        M::IceLakeSp, 2, R::LRU, "cloud"));
+    {
+        // Deterministic anchor: tiny machine, zero noise, small
+        // assumed bounds so the whole Step 0 runs in milliseconds.
+        ScenarioSpec s = calibBase(
+            "calib-tiny-lru-silent",
+            "Regression anchor: blind calibration, tiny host, silent",
+            M::TinyTest, 2, R::LRU, "silent");
+        s.defaultTrials = 3;
+        s.assumedMaxUncertainty = 16;
+        s.assumedMaxWays = 8;
+        s.calibSamplePages = 96;
+        reg.add(s);
+    }
+
+    // ---- Blind campaigns: Step 0 feeds Steps 1-3 with calibrated
+    // topology; calibration cycles count toward cycles-per-key.
+    {
+        ScenarioSpec s = campaignBase(
+            "campaign-blind-skl-quiet-2",
+            "Blind 2-victim fleet: calibrate, then attack Skylake-SP",
+            M::SkylakeSp, 2, R::LRU, "quiet", 2);
+        s.blindTopology = true;
+        reg.add(s);
+    }
+    {
+        ScenarioSpec s = campaignBase(
+            "campaign-blind-tiny-silent-2",
+            "Blind 2-victim fleet on the tiny silent anchor host",
+            M::TinyTest, 2, R::LRU, "silent", 2);
+        s.blindTopology = true;
+        s.assumedMaxUncertainty = 16;
+        s.assumedMaxWays = 8;
+        s.calibSamplePages = 96;
+        s.scanTimeoutSec = 1.0;
         reg.add(s);
     }
 

@@ -28,11 +28,42 @@ maybeRecordCounters(const ScenarioRig &rig, TrialRecorder &rec)
         recordPerfCounters(rec, rig.machine.perfCounters());
 }
 
+/**
+ * Step 0 for blind single-victim stages: calibrate, record, adopt.
+ * Returns false when calibration failed and the attack stages cannot
+ * run; the caller then records its stage outcomes and cycle metrics
+ * as explicit zeros so suite aggregates keep counting failed trials.
+ * @p calib_cycles receives the Step-0 cost either way — stages with
+ * a total-cost metric charge it there, exactly like the campaign
+ * flow in src/campaign/ charges it to the per-key cost.
+ */
+bool
+maybeCalibrateBlind(const ScenarioSpec &spec, ScenarioRig &rig,
+                    TrialRecorder &rec, Cycles *calib_cycles)
+{
+    *calib_cycles = 0;
+    if (!spec.blind())
+        return true;
+    CalibratedTopology calib = runScenarioCalibration(spec, rig);
+    recordCalibration(rec, calib,
+                      compareToOracle(calib, rig.machine.config()));
+    *calib_cycles = calib.cycles;
+    return calib.valid;
+}
+
 void
 runEvsetBuildTrial(const ScenarioSpec &spec, TrialContext &ctx,
                    TrialRecorder &rec)
 {
     ScenarioRig rig(spec, ctx.seed);
+    Cycles calibCycles = 0;
+    if (!maybeCalibrateBlind(spec, rig, rec, &calibCycles)) {
+        rec.outcome("success", false);
+        rec.metric("build_cycles", 0.0);
+        rec.metric("attempts", 0.0);
+        maybeRecordCounters(rig, rec);
+        return;
+    }
     const std::size_t t = ctx.index;
     auto cands = rig.pool->candidatesAt(
         static_cast<unsigned>((3 * t) % kLinesPerPage));
@@ -52,6 +83,17 @@ runScanTrial(const ScenarioSpec &spec, TrialContext &ctx,
              TrialRecorder &rec)
 {
     ScenarioRig rig(spec, ctx.seed);
+    Cycles calibCycles = 0;
+    if (!maybeCalibrateBlind(spec, rig, rec, &calibCycles)) {
+        rec.outcome("evsets_built", false);
+        rec.outcome("target_found", false);
+        rec.outcome("target_correct", false);
+        rec.metric("build_cycles", 0.0);
+        rec.metric("scan_cycles", 0.0);
+        rec.metric("sets_scanned", 0.0);
+        maybeRecordCounters(rig, rec);
+        return;
+    }
     Machine &m = rig.machine;
     VictimConfig vcfg;
     vcfg.seed = rig.victimSeed();
@@ -89,6 +131,18 @@ runEndToEndTrial(const ScenarioSpec &spec, TrialContext &ctx,
                  TrialRecorder &rec)
 {
     ScenarioRig rig(spec, ctx.seed);
+    Cycles calibCycles = 0;
+    if (!maybeCalibrateBlind(spec, rig, rec, &calibCycles)) {
+        rec.outcome("evsets_built", false);
+        rec.outcome("target_found", false);
+        rec.outcome("target_correct", false);
+        rec.metric("build_cycles", 0.0);
+        rec.metric("scan_cycles", 0.0);
+        rec.metric("extract_cycles", 0.0);
+        rec.metric("total_cycles", static_cast<double>(calibCycles));
+        maybeRecordCounters(rig, rec);
+        return;
+    }
     VictimConfig vcfg;
     vcfg.seed = rig.victimSeed();
     VictimService victim(rig.machine, vcfg);
@@ -111,11 +165,24 @@ runEndToEndTrial(const ScenarioSpec &spec, TrialContext &ctx,
     rec.metric("build_cycles", static_cast<double>(res.buildTime));
     rec.metric("scan_cycles", static_cast<double>(res.scanTime));
     rec.metric("extract_cycles", static_cast<double>(res.extractTime));
-    rec.metric("total_cycles", static_cast<double>(res.totalTime()));
+    // Blind trials charge Step 0 into the total, as campaigns do.
+    rec.metric("total_cycles",
+               static_cast<double>(res.totalTime() + calibCycles));
     for (double v : res.recoveredFraction.samples())
         rec.metric("recovered_fraction", v);
     for (double v : res.bitErrorRate.samples())
         rec.metric("bit_error_rate", v);
+    maybeRecordCounters(rig, rec);
+}
+
+void
+runCalibrateTrial(const ScenarioSpec &spec, TrialContext &ctx,
+                  TrialRecorder &rec)
+{
+    ScenarioRig rig(spec, ctx.seed);
+    CalibratedTopology calib = runScenarioCalibration(spec, rig);
+    recordCalibration(rec, calib,
+                      compareToOracle(calib, rig.machine.config()));
     maybeRecordCounters(rig, rec);
 }
 
@@ -146,6 +213,8 @@ scenarioStageName(ScenarioStage stage)
         return "end-to-end";
       case ScenarioStage::Campaign:
         return "campaign";
+      case ScenarioStage::Calibrate:
+        return "calibrate";
     }
     return "?";
 }
@@ -197,6 +266,22 @@ ScenarioSpec::noiseProfile() const
     return p;
 }
 
+CalibrationConfig
+ScenarioSpec::calibrationConfig() const
+{
+    CalibrationConfig c;
+    c.budgetMs = calibBudgetMs;
+    c.targets = calibTargets;
+    c.samplePages = calibSamplePages;
+    // Sanity-cap measured associativities by the spec's own prior,
+    // with 2x slack: assumedMaxWays sizes the pool and may sit below
+    // the true W_SF (Ice Lake's 16-way SF vs the default prior of
+    // 14), but a noise-stalled reduction claiming twice the prior is
+    // a broken measurement, not a surprising host.
+    c.maxWays = std::min(c.maxWays, 2 * assumedMaxWays);
+    return c;
+}
+
 ScenarioRig::ScenarioRig(const ScenarioSpec &spec, std::uint64_t seed)
     : machine(spec.machineConfig(), spec.noiseProfile(),
               actorSeed(seed, kMachineActor))
@@ -205,11 +290,57 @@ ScenarioRig::ScenarioRig(const ScenarioSpec &spec, std::uint64_t seed)
     acfg.seed = actorSeed(seed, kAttackerActor);
     acfg.evsetBudget = msToCycles(spec.evsetBudgetMs);
     acfg.candidateFactor = spec.candidateFactor;
+    acfg.blindTopology = spec.blind();
     session = std::make_unique<AttackSession>(machine, acfg);
+    // A blind attacker cannot size its pool from the machine's true
+    // geometry; it falls back to the spec's assumed upper bounds.
     pool = std::make_unique<CandidatePool>(
         *session,
-        CandidatePool::requiredPages(machine, spec.candidateFactor));
+        spec.blind()
+            ? CandidatePool::requiredPagesBlind(
+                  spec.assumedMaxUncertainty, spec.assumedMaxWays,
+                  spec.candidateFactor)
+            : CandidatePool::requiredPages(machine,
+                                           spec.candidateFactor));
     victimSeed_ = actorSeed(seed, kVictimActor);
+}
+
+CalibratedTopology
+runScenarioCalibration(const ScenarioSpec &spec, ScenarioRig &rig)
+{
+    if (rig.session->topologyKnown())
+        fatal("scenario '%s': calibration on a non-blind session "
+              "(set blindTopology, or drop the Step-0 run)",
+              spec.name.c_str());
+    TopologyProber prober(*rig.session, *rig.pool,
+                          spec.calibrationConfig());
+    CalibratedTopology calib = prober.calibrate();
+    if (calib.valid)
+        rig.session->adoptTopology(calib.view);
+    return calib;
+}
+
+void
+recordCalibration(TrialRecorder &rec, const CalibratedTopology &calib,
+                  const CalibrationReport &report)
+{
+    rec.outcome("calibrated", calib.valid);
+    for (const CalibrationFieldReport &f : report.fields) {
+        rec.outcome(std::string(f.field) + "_match", f.match);
+        rec.metric(f.field, f.measured);
+    }
+    rec.outcome("topology_match", report.allMatch);
+    rec.metric("calib_cycles", static_cast<double>(calib.cycles));
+    rec.metric("calib_test_evictions",
+               static_cast<double>(calib.testEvictions));
+    rec.metric("calib_confidence", calib.confidence);
+    rec.metric("calib_uncertainty_raw", calib.uncertaintyRaw);
+    rec.metric("calib_slices_raw", calib.slicesRaw);
+    if (calib.recallTests) {
+        rec.metric("calib_test_recall",
+                   static_cast<double>(calib.recallPasses) /
+                       static_cast<double>(calib.recallTests));
+    }
 }
 
 void
@@ -228,6 +359,9 @@ runScenarioTrial(const ScenarioSpec &spec, TrialContext &ctx,
         return;
       case ScenarioStage::Campaign:
         runCampaignVictimTrial(spec, ctx, rec);
+        return;
+      case ScenarioStage::Calibrate:
+        runCalibrateTrial(spec, ctx, rec);
         return;
     }
     fatal("scenario '%s': unknown stage", spec.name.c_str());

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "attack/scanner.hh"
+#include "calib/prober.hh"
 #include "evset/builder.hh"
 #include "harness/experiment.hh"
 #include "noise/profile.hh"
@@ -39,6 +40,8 @@ enum class ScenarioStage
     EndToEnd,   //!< Steps 1-3: full EndToEndAttack with extraction
     Campaign,   //!< Steps 1-3 against a whole victim fleet (one
                 //!< victim world per harness trial; see src/campaign/)
+    Calibrate,  //!< Step 0 only: blind topology calibration, gated on
+                //!< per-field accuracy vs the oracle (see src/calib/)
 };
 
 /** Human-readable stage name. */
@@ -60,13 +63,13 @@ struct ScenarioSpec
     std::string description; //!< one-line intent, shown by --list
 
     // ------------------------------------------------- matrix axes
-    ScenarioMachine machine = ScenarioMachine::TinyTest;
+    ScenarioMachine machine = ScenarioMachine::TinyTest; //!< host kind
     unsigned slices = 2;                  //!< host slice count
     ReplKind sharedRepl = ReplKind::LRU;  //!< LLC + SF policy
     std::string noise = "quiescent-local"; //!< NoiseProfile name
-    PruneAlgo algo = PruneAlgo::BinS;
+    PruneAlgo algo = PruneAlgo::BinS;     //!< Step-1 pruning algorithm
     bool useFilter = true; //!< L2-driven candidate filtering
-    ScenarioStage stage = ScenarioStage::EvsetBuild;
+    ScenarioStage stage = ScenarioStage::EvsetBuild; //!< pipeline depth
 
     // --------------------------------------------- attacker knobs
     double evsetBudgetMs = 100.0; //!< per-set construction budget
@@ -105,6 +108,31 @@ struct ScenarioSpec
     double keyMinRecoveredFraction = 0.35;
     double keyMaxBitErrorRate = 0.35;
 
+    // ------------------------------------ Step 0 (Stage::Calibrate
+    // scenarios, and any stage with blindTopology set)
+
+    /**
+     * Blind-topology mode: the attacker session starts with *no*
+     * shared-cache geometry (consulting it pre-calibration is fatal),
+     * sizes its candidate pool from the assumed bounds below, and
+     * runs the Step-0 TopologyProber before its attack stages.
+     * Stage Calibrate implies blind and stops after Step 0; every
+     * other stage calibrates first and records the calibration
+     * outcomes alongside its own, with a failed Step 0 degrading to
+     * explicit failure outcomes.  A blind Campaign additionally
+     * charges the calibration cycles to the per-key cost.
+     */
+    bool blindTopology = false;
+
+    double calibBudgetMs = 400.0; //!< Step-0 virtual-time budget
+    unsigned calibTargets = 2;    //!< independent calibration targets
+    unsigned calibSamplePages = 160; //!< U-estimator scan window
+
+    /** Blind pool-sizing priors (see requiredPagesBlind): upper
+     *  bounds the attacker assumes for U and W before measuring. */
+    unsigned assumedMaxUncertainty = 96;
+    unsigned assumedMaxWays = 14;
+
     std::size_t defaultTrials = 4; //!< trials when the caller passes 0
 
     /** Instantiate the host config (slices + shared policy applied). */
@@ -112,6 +140,17 @@ struct ScenarioSpec
 
     /** Resolve the noise profile; fatal on an unknown name. */
     NoiseProfile noiseProfile() const;
+
+    /** True iff the attacker session must start without geometry
+     *  (Stage::Calibrate always does; other stages opt in). */
+    bool
+    blind() const
+    {
+        return blindTopology || stage == ScenarioStage::Calibrate;
+    }
+
+    /** The Step-0 prober configuration this spec implies. */
+    CalibrationConfig calibrationConfig() const;
 };
 
 /**
@@ -127,9 +166,12 @@ struct ScenarioRig
     /** Seed for the victim service of this trial (stage Scan/E2E). */
     std::uint64_t victimSeed() const { return victimSeed_; }
 
-    Machine machine;
+    Machine machine; //!< this trial's simulated host
+
+    /** Attacker context; starts blind iff spec.blind(). */
     std::unique_ptr<AttackSession> session;
-    std::unique_ptr<CandidatePool> pool;
+
+    std::unique_ptr<CandidatePool> pool; //!< attacker candidate pages
 
   private:
     std::uint64_t victimSeed_ = 0;
@@ -171,6 +213,27 @@ ExperimentResult runScenario(const ScenarioSpec &spec,
 TraceClassifier trainScenarioClassifier(const ScenarioSpec &spec,
                                         ScenarioRig &rig,
                                         VictimService &victim);
+
+/**
+ * Run Step 0 for a blind rig: probe the topology with the spec's
+ * calibration knobs and, when the result is valid, adopt it into the
+ * rig's session so the attack stages can proceed.  Fatal when called
+ * on a non-blind rig (the session already has oracle geometry — the
+ * calibration would silently measure nothing new).
+ */
+CalibratedTopology runScenarioCalibration(const ScenarioSpec &spec,
+                                          ScenarioRig &rig);
+
+/**
+ * Record a calibration's outcomes/metrics under the canonical names:
+ * outcome "calibrated" plus one "<field>_match" per report field and
+ * "topology_match" for the conjunction; metrics "calib_cycles",
+ * "calib_test_evictions", "calib_confidence" and the measured
+ * geometry fields.
+ */
+void recordCalibration(TrialRecorder &rec,
+                       const CalibratedTopology &calib,
+                       const CalibrationReport &report);
 
 /**
  * Record one trial's hierarchy PerfCounters under the canonical

@@ -1,8 +1,16 @@
 #include "configs.hh"
 
 #include "common/log.hh"
+#include "common/rng.hh"
 
 namespace llcf {
+
+SliceHashParams
+MachineConfig::sliceHashParams(std::uint64_t machine_seed) const
+{
+    return SliceHashParams::opaque(llc.slices,
+                                   sliceSalt ^ mix64(machine_seed));
+}
 
 void
 MachineConfig::check() const

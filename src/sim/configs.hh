@@ -12,6 +12,7 @@
 
 #include "cache/geometry.hh"
 #include "cache/replacement.hh"
+#include "cache/slice_hash.hh"
 #include "sim/timing.hh"
 
 namespace llcf {
@@ -53,6 +54,16 @@ struct MachineConfig
 
     /** Validate geometric invariants the attack techniques rely on. */
     void check() const;
+
+    /**
+     * The slice-hash family member this host instantiates: the opaque
+     * hash over the LLC slice count, keyed by the config salt mixed
+     * with the per-machine @p machine_seed (so two simulated hosts of
+     * the same model still have distinct slice mappings).  Machine
+     * builds its hash from exactly this record, and the family goldens
+     * in tests/test_calib.cc pin the round-trip bit-for-bit.
+     */
+    SliceHashParams sliceHashParams(std::uint64_t machine_seed) const;
 
     /**
      * Set the replacement policy of the shared structures (LLC + SF)

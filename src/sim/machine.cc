@@ -17,6 +17,22 @@ sharedBlockWords(const MachineConfig &cfg)
            CacheArray::recordWordsFor(cfg.llc, cfg.llcRepl);
 }
 
+/**
+ * Instantiate the config's slice-hash record as the by-value hash the
+ * access hot path inlines.  Only the opaque family member has the
+ * divide-free inline slice(); a config asking for another kind is a
+ * configuration error rather than a silent fallback.
+ */
+OpaqueSliceHash
+inlineSliceHash(const SliceHashParams &params)
+{
+    if (params.kind != SliceHashKind::Opaque)
+        fatal("machine hot path requires the opaque slice-hash family "
+              "member, not %s",
+              sliceHashKindName(params.kind));
+    return OpaqueSliceHash(params.slices, params.salt);
+}
+
 } // namespace
 
 Machine::Machine(const MachineConfig &cfg, const NoiseProfile &noise,
@@ -26,7 +42,7 @@ Machine::Machine(const MachineConfig &cfg, const NoiseProfile &noise,
       rng_(mix64(seed ^ 0x6d61636869ULL)),
       jitterRng_(mix64(seed + 0x7ea5)),
       allocator_(cfg.physFrames, Rng(mix64(seed + 0xa110c))),
-      sliceHash_(cfg.llc.slices, cfg.sliceSalt ^ mix64(seed)),
+      sliceHash_(inlineSliceHash(cfg.sliceHashParams(seed))),
       sharedRecords_(static_cast<std::size_t>(
                          std::max(cfg.llc.totalSets(),
                                   cfg.sf.totalSets())) *
