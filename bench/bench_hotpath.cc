@@ -77,16 +77,8 @@ std::vector<Addr>
 makeLines(Machine &m, AddressSpace &as, std::size_t pages)
 {
     const Addr base = as.mmapAnon(pages * kPageBytes);
-    std::vector<Addr> lines;
-    lines.reserve(pages * kLinesPerPage);
-    for (std::size_t p = 0; p < pages; ++p) {
-        for (unsigned l = 0; l < kLinesPerPage; ++l) {
-            lines.push_back(as.translate(base + p * kPageBytes +
-                                         l * kLineBytes));
-        }
-    }
     (void)m;
-    return lines;
+    return as.translateLines(base, pages * kPageBytes);
 }
 
 /** Scale a per-machine workload: (pages, rounds) per machine kind. */
@@ -367,6 +359,10 @@ benchMain(bool smoke, const std::string &baseline)
         {"skylake-scaled-4sl", scaledSkylake, 4, ReplKind::TreePLRU},
         {"skylake-scaled-4sl", scaledSkylake, 4, ReplKind::SRRIP},
         {"skylake-scaled-4sl", scaledSkylake, 4, ReplKind::Random},
+        {"icelake-scaled-4sl", scaledIceLake, 4, ReplKind::LRU},
+        {"icelake-scaled-4sl", scaledIceLake, 4, ReplKind::TreePLRU},
+        {"icelake-scaled-4sl", scaledIceLake, 4, ReplKind::SRRIP},
+        {"icelake-scaled-4sl", scaledIceLake, 4, ReplKind::Random},
     };
 
     benchPrintHeader("Cache hot path (machine x policy)");

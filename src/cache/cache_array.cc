@@ -5,46 +5,67 @@
 namespace llcf {
 
 std::size_t
-CacheArray::recordWordsFor(const CacheGeometry &geom, ReplKind repl)
+CacheArray::metaWordsFor(const CacheGeometry &geom, ReplKind repl)
 {
     const std::size_t repl_bytes = withReplOps(repl, [&](auto ops) {
         return ops.stateBytes(geom.ways);
     });
     const std::size_t meta_bytes = 2 * geom.ways + 1 + repl_bytes;
-    return geom.ways + (meta_bytes + 7) / 8;
+    return (meta_bytes + 7) / 8;
 }
 
 CacheArray::CacheArray(const CacheGeometry &geom, ReplKind repl)
     : geom_(geom), kind_(repl)
 {
     geom_.check();
-    recordWords_ = recordWordsFor(geom_, kind_);
-    own_.assign(static_cast<std::size_t>(geom_.totalSets()) *
-                    recordWords_,
-                0);
-    base_ = own_.data();
-    strideWords_ = recordWords_;
-    offsetWords_ = 0;
-    initRecords();
+    paddedWays_ = static_cast<unsigned>(tagWordsFor(geom_));
+    metaWords_ = metaWordsFor(geom_, kind_);
+    // Tag rows start on host cache lines (aligned base, whole-line
+    // stride) so a row never straddles an extra line; the stride gap
+    // beyond paddedWays_ is never read.
+    const std::size_t tag_stride = hostLineAlignWords(paddedWays_);
+    ownTags_.assign(static_cast<std::size_t>(geom_.totalSets()) *
+                            tag_stride +
+                        kLineBytes / sizeof(Addr),
+                    0);
+    ownMeta_.assign(static_cast<std::size_t>(geom_.totalSets()) *
+                        metaWords_,
+                    0);
+    tagBase_ = hostLineAlignPtr(ownTags_.data());
+    tagStride_ = tag_stride;
+    tagOffset_ = 0;
+    metaBase_ = ownMeta_.data();
+    metaStride_ = metaWords_;
+    metaOffset_ = 0;
+    initPlanes();
 }
 
 CacheArray::CacheArray(const CacheGeometry &geom, ReplKind repl,
-                       Addr *base, std::size_t stride_words,
-                       std::size_t offset_words)
+                       Addr *tag_base, std::size_t tag_stride_words,
+                       std::size_t tag_offset_words,
+                       std::uint64_t *meta_base,
+                       std::size_t meta_stride_words,
+                       std::size_t meta_offset_words)
     : geom_(geom), kind_(repl)
 {
     geom_.check();
-    recordWords_ = recordWordsFor(geom_, kind_);
-    if (offset_words + recordWords_ > stride_words)
-        panic("cache array record does not fit its placement");
-    base_ = base;
-    strideWords_ = stride_words;
-    offsetWords_ = offset_words;
-    initRecords();
+    paddedWays_ = static_cast<unsigned>(tagWordsFor(geom_));
+    metaWords_ = metaWordsFor(geom_, kind_);
+    if (tag_offset_words + paddedWays_ > tag_stride_words)
+        panic("cache array tag row does not fit its placement");
+    if (meta_offset_words + metaWords_ > meta_stride_words)
+        panic("cache array meta row does not fit its placement");
+    tagBase_ = tag_base;
+    tagStride_ = tag_stride_words;
+    tagOffset_ = tag_offset_words;
+    metaBase_ = meta_base;
+    metaStride_ = meta_stride_words;
+    metaOffset_ = meta_offset_words;
+    initPlanes();
 }
 
 void
-CacheArray::initRecords()
+CacheArray::initPlanes()
 {
     replBytesPerSet_ = withReplOps(kind_, [&](auto ops) {
         return ops.stateBytes(geom_.ways);
@@ -59,8 +80,11 @@ CacheArray::resetSet(unsigned set)
 {
     Addr *tags = tagsOf(set);
     std::uint8_t *meta = metaOf(set);
-    for (unsigned w = 0; w < geom_.ways; ++w) {
+    // Padding slots beyond ways_ keep the sentinel forever so the
+    // vector scan can consume whole groups without a validity mask.
+    for (unsigned w = 0; w < paddedWays_; ++w)
         tags[w] = kInvalidTag;
+    for (unsigned w = 0; w < geom_.ways; ++w) {
         meta[w] = static_cast<std::uint8_t>(CohState::Invalid);
         meta[geom_.ways + w] = 0;
     }

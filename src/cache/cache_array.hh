@@ -11,12 +11,21 @@
  * tracked by the SF; Shared lines are tracked by (and resident in)
  * the LLC.
  *
- * Hot-path layout: each set's whole state — tag words, coherence and
- * owner bytes, valid count and replacement state — lives in one
- * contiguous record, and invalid ways carry a sentinel tag no
- * line-aligned address can equal, so findWay is a straight-line
- * equality scan over <= W adjacent 8-byte tags with no validity
- * branch and a fill touches two or three host cache lines total.
+ * Hot-path layout (structure-of-arrays): per-set state is split into
+ * two planes instead of one interleaved record —
+ *
+ *  - the *tag plane*: one contiguous row of <= W 8-byte tag words per
+ *    set, padded to a multiple of kTagLane with a sentinel no
+ *    line-aligned address can equal, so findWay is one branch-free
+ *    vectorized equality scan (tag_scan.hh) with no validity test;
+ *  - the *metadata plane*: the coherence/owner bytes, valid count and
+ *    replacement state, touched only on hits, fills and invalidates.
+ *
+ * The split is the classic AoS→SoA fix: a probe that misses — the
+ * dominant outcome in flush sweeps and eviction tests — now reads
+ * nothing but densely packed tags, so every fetched host cache line is
+ * all useful data, and two structures sharing a set space (LLC + SF)
+ * can interleave their tag rows so one fetch covers both probes.
  * Replacement decisions dispatch through the compile-time policy
  * switch (withReplOps) rather than virtual calls, and the per-access
  * operations are defined inline here so the Machine's access loop
@@ -33,6 +42,7 @@
 #include "cache/geometry.hh"
 #include "cache/perf_counters.hh"
 #include "cache/replacement.hh"
+#include "cache/tag_scan.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 
@@ -65,11 +75,10 @@ struct FillResult
 };
 
 /**
- * A flat array of cache sets with pluggable replacement.
- *
- * All state is stored in contiguous per-set records so a 57,344-set
- * LLC costs ~10 MB and a lookup is one indexed scan of
- * <= associativity tags.
+ * A flat array of cache sets with pluggable replacement, stored as two
+ * structure-of-arrays planes (tags / metadata).  A 57,344-set LLC
+ * costs ~10 MB and a lookup is one vectorized scan of one padded tag
+ * row.
  */
 class CacheArray
 {
@@ -81,24 +90,35 @@ class CacheArray
     CacheArray(const CacheGeometry &geom, ReplKind repl);
 
     /**
-     * Place this array's per-set records inside a caller-owned buffer
-     * instead of self-owned storage: set @p s's record lives at
-     * @p base + s * @p stride_words + @p offset_words.  Lets two
+     * Place this array's per-set rows inside caller-owned planes
+     * instead of self-owned storage: set @p s's tag row lives at
+     * @p tag_base + s * @p tag_stride_words + @p tag_offset_words, and
+     * its metadata row at @p meta_base + s * @p meta_stride_words +
+     * @p meta_offset_words (both in 8-byte words).  Lets two
      * structures that share a set space (the LLC and SF) interleave
-     * their records so one host cache fetch covers both — the miss
-     * path, the flush path and the SF-eviction path all touch the two
-     * structures at the same flat set back to back.  @p base must
-     * hold sets * stride_words words and outlive the array.
+     * their rows per plane so one host cache fetch covers both — the
+     * miss path, the flush path and the SF-eviction path all probe the
+     * two structures at the same flat set back to back.  Both planes
+     * must hold sets * stride words and outlive the array.
      */
-    CacheArray(const CacheGeometry &geom, ReplKind repl, Addr *base,
-               std::size_t stride_words, std::size_t offset_words);
+    CacheArray(const CacheGeometry &geom, ReplKind repl, Addr *tag_base,
+               std::size_t tag_stride_words, std::size_t tag_offset_words,
+               std::uint64_t *meta_base, std::size_t meta_stride_words,
+               std::size_t meta_offset_words);
 
-    /** Words one set's record occupies for @p geom under @p repl. */
-    static std::size_t recordWordsFor(const CacheGeometry &geom,
-                                      ReplKind repl);
+    /** Padded tag-row words one set occupies for @p geom. */
+    static std::size_t
+    tagWordsFor(const CacheGeometry &geom)
+    {
+        return (geom.ways + kTagLane - 1) / kTagLane * kTagLane;
+    }
 
-    // Copying would leave the copy's record base aliasing (and later
-    // dangling into) the source's buffer; moves transfer the buffer
+    /** Metadata-row words one set occupies for @p geom under @p repl. */
+    static std::size_t metaWordsFor(const CacheGeometry &geom,
+                                    ReplKind repl);
+
+    // Copying would leave the copy's plane bases aliasing (and later
+    // dangling into) the source's buffers; moves transfer the buffers
     // and stay safe.
     CacheArray(const CacheArray &) = delete;
     CacheArray &operator=(const CacheArray &) = delete;
@@ -125,10 +145,22 @@ class CacheArray
     }
 
     /**
-     * Hint the host to pull @p set's record into its caches.  The
-     * batched access path prefetches the next element's sets while
-     * the current element is simulated — at Skylake scale the records
-     * live in multi-megabyte tables and the dependent lookups are
+     * Read-only view of @p set's padded tag row (tagRowWords() words;
+     * padding holds the sentinel).  For callers that fuse scans over
+     * interleaved rows (the Machine's shared flush probe) and for
+     * host-side prefetch; simulated state must be mutated through the
+     * operations below only.
+     */
+    const Addr *tagRow(unsigned set) const { return tagsOf(set); }
+
+    /** Words in one padded tag row (ways rounded up to kTagLane). */
+    unsigned tagRowWords() const { return paddedWays_; }
+
+    /**
+     * Hint the host to pull @p set's tag row into its caches.  The
+     * batched access path prefetches the next elements' rows while the
+     * current element is simulated — at Skylake scale the planes live
+     * in multi-megabyte tables and the dependent lookups are
      * host-memory-latency-bound, so the overlap is where the batch
      * API's throughput comes from.  No simulated effect whatsoever.
      */
@@ -136,11 +168,27 @@ class CacheArray
     prefetchSet(unsigned set) const
     {
         const Addr *tags = tagsOf(set);
-        __builtin_prefetch(tags);
-        // Records span up to ~3 host lines (tags + metadata); touch
-        // the metadata line too for wide geometries.
-        if (geom_.ways > 6)
-            __builtin_prefetch(tags + geom_.ways);
+        for (unsigned b = 0;; b += 8) {
+            __builtin_prefetch(tags + b);
+            if (b + 8 >= paddedWays_)
+                break;
+        }
+    }
+
+    /**
+     * Hint the host to pull @p set's metadata row too — worth it on
+     * fill/hit-heavy sweeps; the tag-only prefetch above suffices for
+     * miss-dominated probes.  No simulated effect.
+     */
+    void
+    prefetchSetMeta(unsigned set) const
+    {
+        const std::uint8_t *meta = metaOf(set);
+        for (std::size_t b = 0;; b += 64) {
+            __builtin_prefetch(meta + b);
+            if (b + 64 >= metaWords_ * 8)
+                break;
+        }
     }
 
     /**
@@ -150,14 +198,20 @@ class CacheArray
     std::optional<unsigned>
     findWay(unsigned set, Addr line_addr) const
     {
-        const Addr *tags = tagsOf(set);
-        for (unsigned w = 0; w < geom_.ways; ++w) {
-            // Invalid ways hold kInvalidTag, which no line-aligned
-            // address equals, so no validity check is needed.
-            if (tags[w] == line_addr)
-                return w;
-        }
-        return std::nullopt;
+        ++counters_.tagScans;
+        // Invalid ways and row padding hold kInvalidTag, which no
+        // line-aligned address equals, so no validity check is needed
+        // and a match is always a real way.  Rows of one vector group
+        // (small hit-heavy L1s) scan scalar: the splat/mask overhead
+        // only amortises over multiple groups.  Both kernels return
+        // identical slots, so the choice is invisible to simulation.
+        const int slot =
+            paddedWays_ <= kTagLane
+                ? tagScanFindScalar(tagsOf(set), paddedWays_, line_addr)
+                : tagScanFind(tagsOf(set), paddedWays_, line_addr);
+        if (slot < 0)
+            return std::nullopt;
+        return static_cast<unsigned>(slot);
     }
 
     /** Read a line's bookkeeping. @pre way < ways */
@@ -263,56 +317,61 @@ class CacheArray
 
   private:
     /**
-     * Tag stored in invalid ways.  Real tags are line-aligned (low
-     * kLineBits bits clear), so an odd value can never match one and
-     * findWay needs no separate validity test.
+     * Tag stored in invalid ways and in row padding.  Real tags are
+     * line-aligned (low kLineBits bits clear), so an odd value can
+     * never match one and findWay needs no separate validity test.
      */
     static constexpr Addr kInvalidTag = 0x1;
 
-    // ---------------------------------------------- per-set records
+    // ----------------------------------------------------- SoA planes
     //
-    // All of a set's state lives in one contiguous record so a fill
-    // touches two or three host cache lines instead of five scattered
-    // vectors (the arrays are multi-megabyte at Skylake scale and the
-    // access pattern is random — host cache misses, not instructions,
-    // bound the simulation there):
+    // Tag plane: per set, tagWordsFor() 8-byte tag words (ways rounded
+    // up to kTagLane; padding = kInvalidTag) so the scan kernels can
+    // consume whole vector groups with no tail loop.
     //
-    //   [ tags: ways x 8B ][ coh: ways ][ owner: ways ][ valid: 1 ]
+    // Meta plane: per set, metaWordsFor() words holding
+    //
+    //   [ coh: ways ][ owner: ways ][ valid: 1 ]
     //   [ repl state: replBytesPerSet ]
     //
-    // Records are sized in 8-byte words so tags stay naturally
-    // aligned; the byte-granular metadata lives behind them and is
-    // accessed through char pointers (always aliasing-legal).
+    // accessed through char pointers (always aliasing-legal).  Probes
+    // that miss never touch this plane — that is the point of the
+    // split: the arrays are multi-megabyte at Skylake scale, the
+    // access pattern is random, and host cache misses, not
+    // instructions, bound the simulation there, so a probe should
+    // fetch nothing but tags.
 
     Addr *
     tagsOf(unsigned set)
     {
-        return base_ + static_cast<std::size_t>(set) * strideWords_ +
-               offsetWords_;
+        return tagBase_ + static_cast<std::size_t>(set) * tagStride_ +
+               tagOffset_;
     }
 
     const Addr *
     tagsOf(unsigned set) const
     {
-        return base_ + static_cast<std::size_t>(set) * strideWords_ +
-               offsetWords_;
+        return tagBase_ + static_cast<std::size_t>(set) * tagStride_ +
+               tagOffset_;
     }
 
     std::uint8_t *
     metaOf(unsigned set)
     {
-        return reinterpret_cast<std::uint8_t *>(tagsOf(set) +
-                                                geom_.ways);
+        return reinterpret_cast<std::uint8_t *>(
+            metaBase_ + static_cast<std::size_t>(set) * metaStride_ +
+            metaOffset_);
     }
 
     const std::uint8_t *
     metaOf(unsigned set) const
     {
-        return reinterpret_cast<const std::uint8_t *>(tagsOf(set) +
-                                                      geom_.ways);
+        return reinterpret_cast<const std::uint8_t *>(
+            metaBase_ + static_cast<std::size_t>(set) * metaStride_ +
+            metaOffset_);
     }
 
-    /** Replacement state inside a set's metadata block. */
+    /** Replacement state inside a set's metadata row. */
     std::uint8_t *
     replStateIn(std::uint8_t *meta)
     {
@@ -328,22 +387,31 @@ class CacheArray
         meta[geom_.ways + way] = l.owner;
     }
 
-    /** Reset one set's lines, metadata and replacement state. */
+    /** Reset one set's tags, metadata and replacement state. */
     void resetSet(unsigned set);
 
     /** Shared init tail of the two constructors. */
-    void initRecords();
+    void initPlanes();
 
     CacheGeometry geom_;
     ReplKind kind_;
     std::size_t replBytesPerSet_;
-    unsigned validOffset_;     //!< valid-count byte index within meta
-    std::size_t recordWords_;  //!< 8-byte words per set record
-    std::vector<Addr> own_;    //!< self-owned storage (may be empty)
-    Addr *base_ = nullptr;     //!< record base (own_ or external)
-    std::size_t strideWords_ = 0; //!< words between consecutive sets
-    std::size_t offsetWords_ = 0; //!< this array's offset in a block
-    ArrayCounters counters_;
+    unsigned validOffset_;  //!< valid-count byte index within meta row
+    unsigned paddedWays_;   //!< tag-row words (ways padded to kTagLane)
+    std::size_t metaWords_; //!< meta-row 8-byte words
+
+    std::vector<Addr> ownTags_;          //!< self-owned tag plane
+    std::vector<std::uint64_t> ownMeta_; //!< self-owned meta plane
+    Addr *tagBase_ = nullptr;            //!< tag plane (own or external)
+    std::size_t tagStride_ = 0;          //!< words between sets' tag rows
+    std::size_t tagOffset_ = 0;          //!< this array's tag-row offset
+    std::uint64_t *metaBase_ = nullptr;  //!< meta plane (own or external)
+    std::size_t metaStride_ = 0;         //!< words between sets' meta rows
+    std::size_t metaOffset_ = 0;         //!< this array's meta-row offset
+
+    // findWay is logically const but counts its scans; the counters
+    // are observability state, not simulated cache state.
+    mutable ArrayCounters counters_;
 };
 
 } // namespace llcf

@@ -8,7 +8,7 @@
  * snapshotting them is a struct copy:
  *
  *  - ArrayCounters: per CacheArray (hits / fills / evictions /
- *    invalidations), maintained by the array itself.
+ *    invalidations / tag scans), maintained by the array itself.
  *  - PerfCounters: the machine-wide roll-up — per-structure
  *    ArrayCounters (L1/L2 summed over cores, LLC, SF), access and
  *    service-level totals, coherence downgrades and simulated cycles.
@@ -33,6 +33,7 @@ struct ArrayCounters
     std::uint64_t fills = 0;         //!< lines inserted
     std::uint64_t evictions = 0;     //!< valid lines displaced by fills
     std::uint64_t invalidations = 0; //!< lines dropped by invalidate ops
+    std::uint64_t tagScans = 0;      //!< tag-row lookups (findWay calls)
 
     ArrayCounters &
     operator+=(const ArrayCounters &o)
@@ -41,6 +42,7 @@ struct ArrayCounters
         fills += o.fills;
         evictions += o.evictions;
         invalidations += o.invalidations;
+        tagScans += o.tagScans;
         return *this;
     }
 };

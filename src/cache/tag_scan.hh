@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tag-row scan kernels for the structure-of-arrays cache layout.
+ *
+ * A CacheArray stores each set's tags as one contiguous, padded row of
+ * 8-byte words (see cache_array.hh), so "is this line in the set?"
+ * becomes a single pass over the row.  Two interchangeable kernels
+ * implement that pass:
+ *
+ *  - tagScanFindScalar: a straight-line equality loop — the portable
+ *    fallback, and the reference the differential tests compare
+ *    against.
+ *  - tagScanFindVector (LLCF_SIMD builds only): compares the row in
+ *    128-bit vector groups using GCC/Clang vector extensions, with one
+ *    mask check per four-tag group — a miss costs padded/2 vector
+ *    compares and well-predicted not-taken branches, and a hit stops
+ *    at its group and rescans only those four slots (hit-heavy
+ *    private-cache lookups must not pay a full-row pass).  Vector
+ *    extensions lower to SSE2/NEON without any -m flags, and all
+ *    operations are integer-exact, so the two kernels return identical
+ *    results on every input by construction — the property the
+ *    scalar-vs-SIMD differential suite in tests/test_hotpath.cc pins
+ *    end to end.
+ *
+ * Kernel selection is compile-time (the LLCF_SIMD CMake toggle) with a
+ * runtime override: setTagScanForceScalar(true), or the environment
+ * variable LLCF_SCALAR_TAGS=1 read at startup, forces the scalar
+ * kernel in a SIMD build.  The override exists for the differential
+ * tests and the CI byte-identity checks only; it is read once per scan
+ * from a process-global flag and must not be flipped while machines
+ * are being accessed concurrently.
+ */
+
+#ifndef LLCF_CACHE_TAG_SCAN_HH
+#define LLCF_CACHE_TAG_SCAN_HH
+
+#include <cstdlib>
+
+#include "common/types.hh"
+
+// Vector extensions require GCC or Clang; anything else falls back to
+// the scalar kernel even when LLCF_SIMD is on.
+#if defined(LLCF_SIMD) && (defined(__GNUC__) || defined(__clang__))
+#define LLCF_TAG_SCAN_VECTOR 1
+#else
+#define LLCF_TAG_SCAN_VECTOR 0
+#endif
+
+namespace llcf {
+
+namespace detail {
+
+inline bool
+tagScanScalarFromEnv()
+{
+    const char *e = std::getenv("LLCF_SCALAR_TAGS");
+    return e != nullptr && *e != '\0' && *e != '0';
+}
+
+/** Process-global force-scalar flag (tests / CI byte-identity only). */
+inline bool g_tag_scan_force_scalar = tagScanScalarFromEnv();
+
+} // namespace detail
+
+/** Force the scalar kernel at runtime (differential tests only). */
+inline void
+setTagScanForceScalar(bool force)
+{
+    detail::g_tag_scan_force_scalar = force;
+}
+
+/** True iff a SIMD build is currently using the vector kernel. */
+inline bool
+tagScanVectorActive()
+{
+    return LLCF_TAG_SCAN_VECTOR && !detail::g_tag_scan_force_scalar;
+}
+
+/**
+ * Reference kernel: first slot in [0, words) holding @p needle, or -1.
+ */
+inline int
+tagScanFindScalar(const Addr *row, unsigned words, Addr needle)
+{
+    for (unsigned w = 0; w < words; ++w) {
+        if (row[w] == needle)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+#if LLCF_TAG_SCAN_VECTOR
+
+/** Two 64-bit tag lanes; lowers to one SSE2/NEON register. */
+typedef Addr TagVec __attribute__((vector_size(16)));
+
+/**
+ * Vector kernel: same contract as tagScanFindScalar.  @p words must be
+ * a multiple of kTagLane (rows are padded by the cache array).  The
+ * row is consumed in four-tag groups (two vectors each); a group whose
+ * OR-folded mask is clear — the overwhelmingly common case on a miss —
+ * costs two compares and one well-predicted branch, and the first
+ * matching group recovers the lowest matching slot with a four-slot
+ * rescan.  Tags are unique within a row, so the first matching group
+ * holds the first match.
+ */
+inline int
+tagScanFindVector(const Addr *row, unsigned words, Addr needle)
+{
+    const TagVec splat = {needle, needle};
+    for (unsigned b = 0; b < words; b += 4) {
+        TagVec v0, v1;
+        __builtin_memcpy(&v0, row + b, sizeof v0);
+        __builtin_memcpy(&v1, row + b + 2, sizeof v1);
+        const TagVec m = (v0 == splat) | (v1 == splat);
+        if (m[0] | m[1]) {
+            for (unsigned w = b;; ++w) {
+                if (row[w] == needle)
+                    return static_cast<int>(w);
+            }
+        }
+    }
+    return -1;
+}
+
+#endif // LLCF_TAG_SCAN_VECTOR
+
+/** Tags per padded-row group; rows are padded to a multiple of this. */
+inline constexpr unsigned kTagLane = 4;
+
+/**
+ * First slot in [0, words) holding @p needle, or -1.  Dispatches to
+ * the vector kernel when compiled in and not forced scalar; both
+ * kernels are integer-exact and return identical results.
+ */
+inline int
+tagScanFind(const Addr *row, unsigned words, Addr needle)
+{
+#if LLCF_TAG_SCAN_VECTOR
+    if (!detail::g_tag_scan_force_scalar)
+        return tagScanFindVector(row, words, needle);
+#endif
+    return tagScanFindScalar(row, words, needle);
+}
+
+} // namespace llcf
+
+#endif // LLCF_CACHE_TAG_SCAN_HH

@@ -105,6 +105,24 @@ pageLineIndex(Addr a)
     return static_cast<unsigned>((a >> kLineBits) & (kLinesPerPage - 1));
 }
 
+/** Round a word count up to a whole number of host cache lines. */
+constexpr std::size_t
+hostLineAlignWords(std::size_t words)
+{
+    constexpr std::size_t kWordsPerLine = kLineBytes / sizeof(Addr);
+    return (words + kWordsPerLine - 1) / kWordsPerLine * kWordsPerLine;
+}
+
+/** Round a word pointer up to the next 64-byte host cache line. */
+inline Addr *
+hostLineAlignPtr(Addr *p)
+{
+    const auto u = reinterpret_cast<std::uintptr_t>(p);
+    return reinterpret_cast<Addr *>((u + (kLineBytes - 1)) &
+                                    ~static_cast<std::uintptr_t>(
+                                        kLineBytes - 1));
+}
+
 /** True iff @p v is a power of two (and non-zero). */
 constexpr bool
 isPowerOf2(std::uint64_t v)

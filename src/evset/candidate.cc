@@ -8,11 +8,7 @@ CandidatePool::CandidatePool(AttackSession &session, std::size_t pages)
 {
     AddressSpace &space = session.space();
     const Addr base = space.mmapAnon(pages * kPageBytes);
-    framePa_.reserve(pages);
-    for (std::size_t i = 0; i < pages; ++i) {
-        const Addr va = base + static_cast<Addr>(i) * kPageBytes;
-        framePa_.push_back(space.translate(va));
-    }
+    framePa_ = space.framesOf(base, pages * kPageBytes);
 }
 
 std::vector<Addr>

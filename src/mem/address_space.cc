@@ -82,6 +82,29 @@ AddressSpace::translate(Addr va) const
     return it->second | pageOffset(va);
 }
 
+std::vector<Addr>
+AddressSpace::translateLines(Addr va, std::size_t bytes) const
+{
+    if (lineAlign(va) != va)
+        panic("translateLines VA %#lx not line aligned",
+              static_cast<unsigned long>(va));
+    std::vector<Addr> lines;
+    lines.reserve((bytes + kLineBytes - 1) / kLineBytes);
+    Addr v = va;
+    const Addr end = va + bytes;
+    while (v < end) {
+        // One lookup covers every line left on this page.
+        const Addr pa = translate(v);
+        const Addr page_end =
+            (v & ~static_cast<Addr>(kPageBytes - 1)) + kPageBytes;
+        const Addr stop = page_end < end ? page_end : end;
+        for (Addr off = 0; v + off < stop; off += kLineBytes)
+            lines.push_back(pa + off);
+        v = stop;
+    }
+    return lines;
+}
+
 bool
 AddressSpace::isMapped(Addr va) const
 {

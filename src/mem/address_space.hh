@@ -91,6 +91,17 @@ class AddressSpace
     /** Translate a virtual address. @pre va was mapped here. */
     Addr translate(Addr va) const;
 
+    /**
+     * Translate every cache line of [@p va, @p va + @p bytes): one
+     * page-table lookup per page instead of one per line, with the
+     * in-page lines filled in arithmetically.  This is the bulk path
+     * candidate pools and bench working sets are built through — at
+     * Skylake scale they translate tens of thousands of lines, and
+     * the per-line hash lookups dominate construction otherwise.
+     * @pre va is line-aligned and the whole range is mapped here.
+     */
+    std::vector<Addr> translateLines(Addr va, std::size_t bytes) const;
+
     /** True iff the page containing @p va is mapped. */
     bool isMapped(Addr va) const;
 

@@ -108,4 +108,12 @@ scaledSkylake(unsigned slices)
     return cfg;
 }
 
+MachineConfig
+scaledIceLake(unsigned slices)
+{
+    MachineConfig cfg = iceLakeSp(slices);
+    cfg.name = "icelake-scaled-" + std::to_string(slices) + "sl";
+    return cfg;
+}
+
 } // namespace llcf

@@ -100,6 +100,14 @@ MachineConfig tinyTest(unsigned slices = 2);
  */
 MachineConfig scaledSkylake(unsigned slices);
 
+/**
+ * Ice Lake-like machine scaled to fewer slices for fast benches;
+ * per-slice geometry and timing stay faithful.  Exercises the
+ * non-power-of-two way counts (20-way L2, 12-way LLC) the Skylake
+ * variant does not.
+ */
+MachineConfig scaledIceLake(unsigned slices);
+
 } // namespace llcf
 
 #endif // LLCF_SIM_CONFIGS_HH

@@ -9,12 +9,38 @@ namespace llcf {
 
 namespace {
 
-/** Words per interleaved [sf | llc] shared-set record block. */
+/** Tag-plane words per interleaved [sf | llc] shared-set row. */
 std::size_t
-sharedBlockWords(const MachineConfig &cfg)
+sharedTagWords(const MachineConfig &cfg)
 {
-    return CacheArray::recordWordsFor(cfg.sf, cfg.sfRepl) +
-           CacheArray::recordWordsFor(cfg.llc, cfg.llcRepl);
+    return CacheArray::tagWordsFor(cfg.sf) +
+           CacheArray::tagWordsFor(cfg.llc);
+}
+
+/**
+ * Tag-plane stride: the combined row rounded up to whole host cache
+ * lines, so with the plane base line-aligned no row straddles an
+ * extra line.  The gap words are never read.
+ */
+std::size_t
+sharedTagStride(const MachineConfig &cfg)
+{
+    return hostLineAlignWords(sharedTagWords(cfg));
+}
+
+/** Meta-plane words per interleaved [sf | llc] shared-set row. */
+std::size_t
+sharedMetaWords(const MachineConfig &cfg)
+{
+    return CacheArray::metaWordsFor(cfg.sf, cfg.sfRepl) +
+           CacheArray::metaWordsFor(cfg.llc, cfg.llcRepl);
+}
+
+/** Shared sets both planes are sized for. */
+std::size_t
+sharedSetCount(const MachineConfig &cfg)
+{
+    return std::max(cfg.llc.totalSets(), cfg.sf.totalSets());
 }
 
 /**
@@ -43,16 +69,17 @@ Machine::Machine(const MachineConfig &cfg, const NoiseProfile &noise,
       jitterRng_(mix64(seed + 0x7ea5)),
       allocator_(cfg.physFrames, Rng(mix64(seed + 0xa110c))),
       sliceHash_(inlineSliceHash(cfg.sliceHashParams(seed))),
-      sharedRecords_(static_cast<std::size_t>(
-                         std::max(cfg.llc.totalSets(),
-                                  cfg.sf.totalSets())) *
-                         sharedBlockWords(cfg),
-                     0),
-      llc_(cfg.llc, cfg.llcRepl, sharedRecords_.data(),
-           sharedBlockWords(cfg),
-           CacheArray::recordWordsFor(cfg.sf, cfg.sfRepl)),
-      sf_(cfg.sf, cfg.sfRepl, sharedRecords_.data(),
-          sharedBlockWords(cfg), 0)
+      sharedTags_(sharedSetCount(cfg) * sharedTagStride(cfg) +
+                      kLineBytes / sizeof(Addr),
+                  0),
+      sharedMeta_(sharedSetCount(cfg) * sharedMetaWords(cfg), 0),
+      llc_(cfg.llc, cfg.llcRepl, hostLineAlignPtr(sharedTags_.data()),
+           sharedTagStride(cfg), CacheArray::tagWordsFor(cfg.sf),
+           sharedMeta_.data(), sharedMetaWords(cfg),
+           CacheArray::metaWordsFor(cfg.sf, cfg.sfRepl)),
+      sf_(cfg.sf, cfg.sfRepl, hostLineAlignPtr(sharedTags_.data()),
+          sharedTagStride(cfg), 0, sharedMeta_.data(),
+          sharedMetaWords(cfg), 0)
 {
     cfg_.check();
     l1_.reserve(cfg_.cores);
@@ -66,9 +93,10 @@ Machine::Machine(const MachineConfig &cfg, const NoiseProfile &noise,
     noisePerCycle_ = noise_.accessesPerSetPerCycle();
     updateQuiescent();
     // Batch prefetch hints only pay for themselves once the shared
-    // records outgrow a typical host L2 (the tables then miss in the
+    // planes outgrow a typical host L2 (the tables then miss in the
     // host cache and the access loop is memory-latency-bound).
-    prefetchRecords_ = sharedRecords_.size() * sizeof(Addr) >=
+    prefetchRecords_ = (sharedTags_.size() + sharedMeta_.size()) *
+                           sizeof(Addr) >=
                        (1u << 19);
 }
 
@@ -524,6 +552,9 @@ namespace {
 /** Chunk size for long MLP bursts so background events interleave. */
 constexpr std::size_t kBurstChunk = 128;
 
+/** Elements mapped + prefetched ahead of simulation per sweep tile. */
+constexpr std::size_t kSweepTile = 16;
+
 } // namespace
 
 Cycles
@@ -532,18 +563,24 @@ Machine::overlappedAccess(unsigned core, std::span<const Addr> pas,
 {
     Cycles total = 0;
     bool first = true;
+    std::size_t pf = 0; // prefetch cursor, one tile ahead
     for (std::size_t base = 0; base < pas.size(); base += kBurstChunk) {
         const std::size_t end = std::min(pas.size(), base + kBurstChunk);
         double max_lat = 0.0, thr_sum = 0.0;
-        for (std::size_t i = base; i < end; ++i) {
-            if (i + 1 < pas.size())
-                prefetchLine(core, pas[i + 1]);
-            AccessOutcome out = accessLine(core, pas[i], is_store);
-            if (helper >= 0)
-                accessLine(static_cast<unsigned>(helper), pas[i],
-                           is_store);
-            max_lat = std::max(max_lat, out.latency);
-            thr_sum += effThroughput(out.level);
+        for (std::size_t tb = base; tb < end; tb += kSweepTile) {
+            const std::size_t te = std::min(end, tb + kSweepTile);
+            const std::size_t lead =
+                std::min(pas.size(), te + kSweepTile);
+            for (; pf < lead; ++pf)
+                prefetchLine(core, pas[pf]);
+            for (std::size_t i = tb; i < te; ++i) {
+                AccessOutcome out = accessLine(core, pas[i], is_store);
+                if (helper >= 0)
+                    accessLine(static_cast<unsigned>(helper), pas[i],
+                               is_store);
+                max_lat = std::max(max_lat, out.latency);
+                thr_sum += effThroughput(out.level);
+            }
         }
         // An overlapped burst is bound either by the slowest single
         // access or by sustained throughput, whichever dominates.
@@ -558,21 +595,36 @@ Machine::overlappedAccess(unsigned core, std::span<const Addr> pas,
 }
 
 void
-Machine::flushLineNow(Addr line)
+Machine::flushLineNowAt(Addr line, unsigned s)
 {
-    const unsigned s = sharedSetOf(line);
-    syncSharedSet(s);
+    if (!quiescent_)
+        syncSharedSet(s);
+    // The SF and LLC tag rows for a shared set are adjacent in the
+    // shared tag plane (sf at offset 0, llc right after — the wiring
+    // this constructor set up), so both presence probes resolve
+    // against one fetched region, and a flush of a non-resident line
+    // — the common case in repeated flush sweeps — never touches
+    // metadata at all.
+    const Addr *row = sf_.tagRow(s);
+    const int sfw = tagScanFind(row, sf_.tagRowWords(), line);
+    const int llcw =
+        tagScanFind(row + sf_.tagRowWords(), llc_.tagRowWords(), line);
     // A line resident in any private cache is either E/M — tracked by
     // an SF entry naming its single owner — or Shared and tracked by
-    // the LLC (see DESIGN.md).  The shared-structure lookups therefore
+    // the LLC (see DESIGN.md).  The shared-structure probes therefore
     // bound which private caches can hold copies, saving the
     // two-per-core private scans of the general case.
-    const auto sfv = sf_.invalidateLine(s, line);
-    const auto llcv = llc_.invalidateLine(s, line);
-    if (sfv) {
-        if (sfv->owner != kNoiseOwner)
-            dropPrivate(sfv->owner, line);
-    } else if (llcv) {
+    std::uint8_t sf_owner = 0;
+    if (sfw >= 0) {
+        sf_owner = sf_.line(s, static_cast<unsigned>(sfw)).owner;
+        sf_.invalidateWay(s, static_cast<unsigned>(sfw));
+    }
+    if (llcw >= 0)
+        llc_.invalidateWay(s, static_cast<unsigned>(llcw));
+    if (sfw >= 0) {
+        if (sf_owner != kNoiseOwner)
+            dropPrivate(sf_owner, line);
+    } else if (llcw >= 0) {
         dropAllPrivate(line);
     }
 }
@@ -582,14 +634,31 @@ Machine::overlappedFlush(unsigned core, std::span<const Addr> pas)
 {
     (void)core;
     Cycles total = 0;
+    Addr lines[kSweepTile];
+    unsigned sets[kSweepTile];
     for (std::size_t base = 0; base < pas.size(); base += kBurstChunk) {
         const std::size_t end = std::min(pas.size(), base + kBurstChunk);
-        for (std::size_t i = base; i < end; ++i) {
-            // Flush steps are short, so lead two elements for the
-            // prefetch to complete in time.
-            if (i + 2 < pas.size())
-                prefetchLine(core, pas[i + 2]);
-            flushLineNow(lineAlign(pas[i]));
+        for (std::size_t tb = base; tb < end; tb += kSweepTile) {
+            const std::size_t n = std::min(end - tb, kSweepTile);
+            // Map the whole tile (line-align + slice hash) and issue
+            // its host prefetches, then simulate it with the set ids
+            // already in registers: the dependent tag-row fetches of
+            // up to kSweepTile flushes overlap instead of serialising
+            // on host-memory latency.  Host-side only — the simulated
+            // flush order and RNG draw order are untouched.
+            for (std::size_t j = 0; j < n; ++j) {
+                lines[j] = lineAlign(pas[tb + j]);
+                sets[j] = sharedSetOf(lines[j]);
+                if (prefetchRecords_) {
+                    sf_.prefetchSet(sets[j]);
+                    llc_.prefetchSet(sets[j]);
+                    sf_.prefetchSetMeta(sets[j]);
+                    llc_.prefetchSetMeta(sets[j]);
+                    __builtin_prefetch(&lastSync_[sets[j]]);
+                }
+            }
+            for (std::size_t j = 0; j < n; ++j)
+                flushLineNowAt(lines[j], sets[j]);
         }
         total += finishOp(static_cast<double>(end - base) *
                           cfg_.timing.clflushThroughput);
@@ -623,14 +692,23 @@ Machine::accessBatch(unsigned core, std::span<const Addr> pas,
     }
     // Sequential sweeps: element-for-element equivalent to the scalar
     // operations (same RNG draws, same clock advance per element).
-    // The next element's records are prefetched while the current one
-    // is simulated — the batch API's host-side pipelining.
+    // Sweeps are tiled for the host: each tile's shared tag rows are
+    // prefetched before the previous tile finishes simulating, so the
+    // random-set fetches overlap several elements deep instead of the
+    // single-element lead the scalar path gets.
     const auto sweep = [&](auto op) {
         Cycles total = 0;
-        for (std::size_t i = 0; i < pas.size(); ++i) {
-            if (i + 1 < pas.size())
-                prefetchLine(core, pas[i + 1]);
-            total += op(pas[i]);
+        std::size_t pf = 0; // prefetch cursor, one tile ahead
+        for (std::size_t base = 0; base < pas.size();
+             base += kSweepTile) {
+            const std::size_t end =
+                std::min(pas.size(), base + kSweepTile);
+            const std::size_t lead =
+                std::min(pas.size(), end + kSweepTile);
+            for (; pf < lead; ++pf)
+                prefetchLine(core, pas[pf]);
+            for (std::size_t i = base; i < end; ++i)
+                total += op(pas[i]);
         }
         return total;
     };

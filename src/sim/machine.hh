@@ -313,10 +313,17 @@ class Machine
             return;
         const Addr line = lineAlign(pa);
         const unsigned s = sharedSetOf(line);
+        // Both planes: a miss only reads the tag rows, but fills,
+        // hits and invalidates follow into the metadata rows, and a
+        // sweep that stalls there gives back the tag-plane win.
         sf_.prefetchSet(s);
         llc_.prefetchSet(s);
+        sf_.prefetchSetMeta(s);
+        llc_.prefetchSetMeta(s);
         __builtin_prefetch(&lastSync_[s]);
-        l2_[core].prefetchSet(cfg_.l2.setIndex(line));
+        const unsigned l2s = cfg_.l2.setIndex(line);
+        l2_[core].prefetchSet(l2s);
+        l2_[core].prefetchSetMeta(l2s);
     }
 
     /** Count one serviced access and build its outcome. */
@@ -342,7 +349,18 @@ class Machine
     Cycles overlappedFlush(unsigned core, std::span<const Addr> pas);
 
     /** Drop @p line from every structure (no clock change). */
-    void flushLineNow(Addr line);
+    void
+    flushLineNow(Addr line)
+    {
+        flushLineNowAt(line, sharedSetOf(line));
+    }
+
+    /**
+     * flushLineNow with the shared set precomputed by the caller (the
+     * tiled flush sweep maps a whole tile ahead of simulating it).
+     * @pre line is line-aligned and s == sharedSetOf(line).
+     */
+    void flushLineNowAt(Addr line, unsigned s);
 
     /** Apply background noise + streams to shared set @p s up to now. */
     void syncSharedSet(unsigned s);
@@ -399,13 +417,18 @@ class Machine
     std::vector<CacheArray> l2_; //!< per core
 
     /**
-     * Interleaved LLC + SF per-set records ([sf | llc] per flat set):
-     * the two structures share the set space and the hot path always
-     * touches them back to back, so co-locating the records halves
-     * the random host-memory fetches.  Declared before llc_/sf_ so it
-     * outlives and pre-exists them.
+     * Interleaved LLC + SF structure-of-arrays planes ([sf | llc] per
+     * flat set in each plane): the two structures share the set space
+     * and the hot path always probes them back to back, so
+     * co-locating their tag rows makes one host fetch cover both
+     * probes — and flushLineNowAt scans the combined row in a single
+     * fused pass.  Metadata rows are interleaved the same way in
+     * their own plane so probes that miss never pull them in.
+     * Declared before llc_/sf_ so the planes outlive and pre-exist
+     * them.
      */
-    std::vector<Addr> sharedRecords_;
+    std::vector<Addr> sharedTags_;
+    std::vector<std::uint64_t> sharedMeta_;
     CacheArray llc_;
     CacheArray sf_;
 
