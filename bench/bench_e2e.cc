@@ -18,18 +18,32 @@
  *                                       per-victim total cycles inside
  *                                       the relative band; exits 1
  *                                       on a violation
+ *   bench_e2e --full-scale              the paper-scale tier: runs the
+ *                                       fullScaleOnly fork campaigns
+ *                                       (>= 10^5 victims) and writes
+ *                                       BENCH_fullscale.json with a
+ *                                       simulated keys/hour headline
+ *   bench_e2e --checkpoint=cp.json [--resume] [--stop-after-shards=N]
+ *                                       shard-boundary checkpointing
+ *                                       for one selected campaign; an
+ *                                       interrupted run exits 3 and
+ *                                       writes no JSON — resume it
  *
  * For a fixed seed the JSON is byte-identical at any worker-thread
- * count (each victim world is rebuilt from its positional trial
- * stream; CI diffs 1-thread vs 8-thread --smoke runs).  Wall-clock
- * numbers stay on stdout.  The checked-in baseline at the repository
- * root is regenerated with:
+ * count, and a resumed run's JSON is byte-identical to an
+ * uninterrupted one (each victim world derives from its positional
+ * trial stream; shards fold in trial order; CI diffs 1-thread vs
+ * 8-thread --smoke runs plus an interrupt/resume pair).  Wall-clock
+ * numbers stay on stdout.  The checked-in baselines at the repository
+ * root are regenerated with:
  *   ./build/bench_e2e --smoke --json-out=BENCH_e2e.json
+ *   ./build/bench_e2e --full-scale --json-out=BENCH_fullscale.json
  */
 
 #include "bench_common.hh"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "campaign/campaign.hh"
 #include "harness/json.hh"
@@ -55,8 +69,13 @@ campaignSpecs(const ScenarioRegistry &reg, bool scenario_given,
 {
     std::vector<const ScenarioSpec *> specs;
     if (!scenario_given) {
+        // The default and --full-scale selections are disjoint tiers:
+        // fullScaleOnly campaigns are far too large for the default
+        // run, and the default campaigns would dilute the full-scale
+        // document's meaning.
         for (const ScenarioSpec &s : reg.all()) {
-            if (s.stage == ScenarioStage::Campaign)
+            if (s.stage == ScenarioStage::Campaign &&
+                s.fullScaleOnly == fullScale())
                 specs.push_back(&s);
         }
         return specs;
@@ -79,31 +98,46 @@ campaignSpecs(const ScenarioRegistry &reg, bool scenario_given,
 void
 listCampaigns(const std::vector<const ScenarioSpec *> &specs)
 {
-    std::printf("%-28s %-18s %-8s %6s %-15s %s\n", "name", "machine",
+    std::printf("%-28s %-18s %-8s %8s %-15s %s\n", "name", "machine",
                 "repl", "fleet", "noise", "description");
     for (const ScenarioSpec *s : specs) {
         char machine[32];
         std::snprintf(machine, sizeof(machine), "%s/%usl",
                       scenarioMachineName(s->machine), s->slices);
-        std::printf("%-28s %-18s %-8s %6u %-15s %s\n", s->name.c_str(),
+        std::printf("%-28s %-18s %-8s %8u %-15s %s\n", s->name.c_str(),
                     machine, replKindName(s->sharedRepl), s->fleetSize,
                     s->noise.c_str(), s->description.c_str());
     }
+}
+
+/** Recovered keys per *simulated* hour of attack time, the paper's
+ *  fleet-cost headline (0 when nothing was recovered). */
+double
+simulatedKeysPerHour(const CampaignSummary &s)
+{
+    if (s.keysRecovered == 0 || s.totalAttackCycles <= 0.0)
+        return 0.0;
+    const double hours =
+        s.totalAttackCycles / (kCpuGhz * 1e9) / 3600.0;
+    return static_cast<double>(s.keysRecovered) / hours;
 }
 
 void
 printCampaignRow(const CampaignResult &r)
 {
     const CampaignSummary &s = r.summary;
-    std::printf("  %-28s fleet %3zu  keys %3zu  succ %5.1f%%  ",
-                r.experiment.name().c_str(), s.fleet, s.keysRecovered,
+    std::printf("  %-28s fleet %7zu  keys %6zu  succ %5.1f%%  ",
+                r.name.c_str(), s.fleet, s.keysRecovered,
                 s.fleetSuccessRate * 100.0);
     if (s.keysRecovered > 0) {
-        std::printf("%10s/key", formatDuration(
-                                    s.cyclesPerRecoveredKey).c_str());
+        std::printf("%10s/key  %8.1f keys/h",
+                    formatDuration(s.cyclesPerRecoveredKey).c_str(),
+                    simulatedKeysPerHour(s));
     } else {
-        std::printf("%14s", "-");
+        std::printf("%14s  %15s", "-", "-");
     }
+    // Host wall clock lives on stdout only; the JSON stays a pure
+    // function of (spec, seed, fleet).
     std::printf("  wall %6.1f s\n", s.wallSeconds);
 }
 
@@ -125,7 +159,7 @@ gateAgainstBaseline(const CampaignSuite &suite, const std::string &path)
 
     unsigned violations = 0;
     for (const CampaignResult &r : suite.results()) {
-        const std::string &name = r.experiment.name();
+        const std::string &name = r.name;
         const JsonValue *base = benchBaselineEntry(doc, name);
         if (!base) {
             std::fprintf(stderr,
@@ -157,26 +191,35 @@ gateAgainstBaseline(const CampaignSuite &suite, const std::string &path)
         }
         const JsonValue *mean =
             base->find("metrics", "total_cycles", "mean");
-        const SampleStats *total =
-            r.experiment.metric("total_cycles");
-        if (!mean || !mean->isNumber() || !total || total->empty()) {
+        const StreamingStats *total =
+            r.aggregate.metric("total_cycles");
+        // A fleet can legitimately record *no* per-victim accuracy or
+        // cycle aggregates (e.g. every victim failed blind Step 0 on
+        // the fork path).  Absent on both sides is consistent; absent
+        // on one side only is a regression.
+        const bool base_has = mean && mean->isNumber();
+        const bool run_has = total && !total->empty();
+        if (!base_has && !run_has)
+            continue;
+        if (!base_has || !run_has) {
             std::fprintf(stderr,
-                         "FAIL %s: no comparable total_cycles "
-                         "(regenerate %s)\n",
-                         name.c_str(), path.c_str());
+                         "FAIL %s: total_cycles %s in the run but %s "
+                         "in the baseline (regenerate %s)\n",
+                         name.c_str(), run_has ? "present" : "absent",
+                         base_has ? "present" : "absent", path.c_str());
             ++violations;
-        } else {
-            const double want = mean->asNumber();
-            const double lo = want * (1.0 - cyc_tol);
-            const double hi = want * (1.0 + cyc_tol);
-            const double got = total->mean();
-            if (got < lo || got > hi) {
-                std::fprintf(stderr,
-                             "FAIL %s/total_cycles: %.4g outside "
-                             "[%.4g, %.4g] (baseline %.4g)\n",
-                             name.c_str(), got, lo, hi, want);
-                ++violations;
-            }
+            continue;
+        }
+        const double want = mean->asNumber();
+        const double lo = want * (1.0 - cyc_tol);
+        const double hi = want * (1.0 + cyc_tol);
+        const double got = total->mean();
+        if (got < lo || got > hi) {
+            std::fprintf(stderr,
+                         "FAIL %s/total_cycles: %.4g outside "
+                         "[%.4g, %.4g] (baseline %.4g)\n",
+                         name.c_str(), got, lo, hi, want);
+            ++violations;
         }
     }
     if (violations == 0)
@@ -187,7 +230,9 @@ gateAgainstBaseline(const CampaignSuite &suite, const std::string &path)
 
 int
 benchMain(bool list, bool smoke, bool scenario_given,
-          const std::string &selection, const std::string &baseline)
+          const std::string &selection, const std::string &baseline,
+          const std::string &checkpoint, bool resume,
+          std::size_t stop_after_shards)
 {
     const auto specs = campaignSpecs(builtinScenarios(), scenario_given,
                                      selection);
@@ -202,18 +247,42 @@ benchMain(bool list, bool smoke, bool scenario_given,
                      selection.c_str());
         return 1;
     }
+    if (!checkpoint.empty() && specs.size() > 1) {
+        std::fprintf(stderr,
+                     "bench_e2e: --checkpoint drives exactly one "
+                     "campaign; narrow the run with --scenario= "
+                     "(%zu selected)\n",
+                     specs.size());
+        return 2;
+    }
 
-    benchPrintHeader("End-to-end key-recovery campaigns");
-    CampaignSuite suite("e2e");
+    benchPrintHeader(fullScale()
+                         ? "Full-scale key-recovery campaigns"
+                         : "End-to-end key-recovery campaigns");
+    CampaignSuite suite(fullScale() ? "fullscale" : "e2e");
     suite.contextValue("rate_tolerance", kRateTolerance);
     suite.contextValue("cycles_tolerance", kCyclesTolerance);
     for (const ScenarioSpec *spec : specs) {
         const std::size_t fleet =
             smoke ? std::min<std::size_t>(spec->fleetSize, kSmokeFleet)
                   : trialCount(spec->fleetSize);
+        CampaignRunOptions opts;
+        opts.fleet = fleet;
+        opts.masterSeed = baseSeed();
+        opts.checkpointPath = checkpoint;
+        opts.resume = resume;
+        opts.stopAfterShards = stop_after_shards;
         KeyRecoveryCampaign campaign(*spec);
-        CampaignResult result = campaign.run(fleet, 0, baseSeed());
+        CampaignResult result = campaign.run(opts);
         printCampaignRow(result);
+        if (result.interrupted) {
+            std::printf("  %-28s interrupted at trial %zu/%zu; "
+                        "checkpoint %s — resume with --resume\n",
+                        result.name.c_str(),
+                        result.aggregate.trials(), result.trials,
+                        checkpoint.c_str());
+            return 3;
+        }
         suite.add(std::move(result));
     }
 
@@ -241,8 +310,11 @@ main(int argc, char **argv)
     bool list = false;
     bool smoke = false;
     bool scenario_given = false;
+    bool resume = false;
+    std::size_t stop_after_shards = 0;
     std::string selection;
     std::string baseline;
+    std::string checkpoint;
     std::vector<std::string> unknown;
     for (const std::string &arg : llcf::benchParseArgs(argc, argv)) {
         if (arg == "--list") {
@@ -256,17 +328,34 @@ main(int argc, char **argv)
             selection += arg.substr(sizeof("--scenario=") - 1);
         } else if (arg.rfind("--baseline=", 0) == 0) {
             baseline = arg.substr(sizeof("--baseline=") - 1);
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            checkpoint = arg.substr(sizeof("--checkpoint=") - 1);
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg.rfind("--stop-after-shards=", 0) == 0) {
+            stop_after_shards = static_cast<std::size_t>(std::strtoull(
+                arg.c_str() + sizeof("--stop-after-shards=") - 1,
+                nullptr, 10));
         } else {
             unknown.push_back(arg);
         }
+    }
+    if ((resume || stop_after_shards) && checkpoint.empty()) {
+        std::fprintf(stderr,
+                     "bench_e2e: --resume / --stop-after-shards "
+                     "require --checkpoint=<path>\n");
+        return 2;
     }
     if (!llcf::benchRejectExtraArgs(unknown)) {
         std::fprintf(stderr,
                      "bench_e2e flags: --list --smoke "
                      "--scenario=<name[,name...]> "
-                     "--baseline=BENCH_e2e.json\n");
+                     "--baseline=BENCH_e2e.json "
+                     "--checkpoint=<path> --resume "
+                     "--stop-after-shards=<n>\n");
         return 2;
     }
     return llcf::benchMain(list, smoke, scenario_given, selection,
-                           baseline);
+                           baseline, checkpoint, resume,
+                           stop_after_shards);
 }

@@ -55,7 +55,32 @@ EndToEndAttack::run(const CandidatePool &pool)
     // ---- Step 3: collect traces of fresh signings and extract the
     // nonce bits from each.
     t0 = m.now();
-    const auto &evset = built.evsets[scan.evsetIndex];
+    collectTraces(built.evsets[scan.evsetIndex], res);
+    res.extractTime = m.now() - t0;
+    return res;
+}
+
+E2EResult
+EndToEndAttack::runFromScan(const BuiltEvictionSet &evset)
+{
+    Machine &m = session_.machine();
+    E2EResult res;
+    res.evsetsBuilt = true;
+    res.targetFound = true;
+    res.targetCorrect = m.sharedSetOf(evset.target) ==
+                        m.sharedSetOf(victim_.targetLinePa());
+
+    const Cycles t0 = m.now();
+    collectTraces(evset, res);
+    res.extractTime = m.now() - t0;
+    return res;
+}
+
+void
+EndToEndAttack::collectTraces(const BuiltEvictionSet &evset,
+                              E2EResult &res)
+{
+    Machine &m = session_.machine();
     // Monitoring extends slightly past the ladder so the closing
     // boundary fetch at ladderEnd is observable; the slack stays
     // below the minimum iteration duration, so no spurious boundary
@@ -89,8 +114,6 @@ EndToEndAttack::run(const CandidatePool &pool)
         if (sc.recoveredBits > 0)
             res.bitErrorRate.add(sc.bitErrorRate());
     }
-    res.extractTime = m.now() - t0;
-    return res;
 }
 
 unsigned

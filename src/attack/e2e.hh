@@ -76,6 +76,18 @@ class EndToEndAttack
     E2EResult run(const CandidatePool &pool);
 
     /**
+     * Run Step 3 only, against an eviction set already identified by a
+     * previous scan.  This is the forked-victim path of fleet
+     * campaigns: when every victim in the fleet maps its target at the
+     * same line index and the machine world is restored from the
+     * post-scan snapshot, Steps 1-2 are valid fleet-wide and each
+     * additional key costs only the monitoring loop.  The returned
+     * result has zero build/scan time and re-derives targetCorrect
+     * against *this* victim's target line.
+     */
+    E2EResult runFromScan(const BuiltEvictionSet &evset);
+
+    /**
      * Requests Step 2 schedules to keep @p victim signing across the
      * scan window, sized from the scanner timeout and the victim's
      * expected request duration.  Exposed so quota sizing (tests,
@@ -85,6 +97,10 @@ class EndToEndAttack
                                      const ScannerParams &scanner);
 
   private:
+    /** The Step-3 monitoring/extraction loop shared by both entry
+     *  points; accumulates traces into @p res. */
+    void collectTraces(const BuiltEvictionSet &evset, E2EResult &res);
+
     AttackSession &session_;
     VictimService &victim_;
     const TraceClassifier &classifier_;

@@ -1,5 +1,7 @@
 #include "cache_array.hh"
 
+#include <cstring>
+
 #include "common/log.hh"
 
 namespace llcf {
@@ -110,6 +112,43 @@ CacheArray::flushAll()
 {
     for (unsigned s = 0; s < geom_.totalSets(); ++s)
         resetSet(s);
+}
+
+CacheArrayState
+CacheArray::saveState() const
+{
+    CacheArrayState st;
+    const std::size_t sets = geom_.totalSets();
+    st.tags.resize(sets * paddedWays_);
+    st.meta.resize(sets * metaWords_);
+    for (std::size_t s = 0; s < sets; ++s) {
+        std::memcpy(st.tags.data() + s * paddedWays_,
+                    tagsOf(static_cast<unsigned>(s)),
+                    paddedWays_ * sizeof(Addr));
+        std::memcpy(st.meta.data() + s * metaWords_,
+                    metaOf(static_cast<unsigned>(s)),
+                    metaWords_ * sizeof(std::uint64_t));
+    }
+    st.counters = counters_;
+    return st;
+}
+
+void
+CacheArray::restoreState(const CacheArrayState &state)
+{
+    const std::size_t sets = geom_.totalSets();
+    if (state.tags.size() != sets * paddedWays_ ||
+        state.meta.size() != sets * metaWords_)
+        panic("cache array state does not match this geometry");
+    for (std::size_t s = 0; s < sets; ++s) {
+        std::memcpy(tagsOf(static_cast<unsigned>(s)),
+                    state.tags.data() + s * paddedWays_,
+                    paddedWays_ * sizeof(Addr));
+        std::memcpy(metaOf(static_cast<unsigned>(s)),
+                    state.meta.data() + s * metaWords_,
+                    metaWords_ * sizeof(std::uint64_t));
+    }
+    counters_ = state.counters;
 }
 
 } // namespace llcf

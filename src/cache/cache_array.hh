@@ -75,6 +75,20 @@ struct FillResult
 };
 
 /**
+ * Value snapshot of one CacheArray's simulated state.  Rows are stored
+ * densely (no host-alignment stride, no interleaving), so the same
+ * snapshot logic covers self-owned arrays and arrays placed inside a
+ * shared external plane — restoring writes each row back through the
+ * array's own placement arithmetic.
+ */
+struct CacheArrayState
+{
+    std::vector<Addr> tags;          //!< totalSets x tagRowWords words
+    std::vector<std::uint64_t> meta; //!< totalSets x meta-row words
+    ArrayCounters counters;
+};
+
+/**
  * A flat array of cache sets with pluggable replacement, stored as two
  * structure-of-arrays planes (tags / metadata).  A 57,344-set LLC
  * costs ~10 MB and a lookup is one vectorized scan of one padded tag
@@ -314,6 +328,15 @@ class CacheArray
 
     /** Invalidate every line and reset replacement state. */
     void flushAll();
+
+    /** Copy out every set's tag/meta row plus the event counters. */
+    CacheArrayState saveState() const;
+
+    /**
+     * Restore a state captured by saveState() on an array of the same
+     * geometry and policy.  Fatal on a shape mismatch.
+     */
+    void restoreState(const CacheArrayState &state);
 
   private:
     /**

@@ -1,0 +1,249 @@
+#include "aggregate.hh"
+
+#include <cmath>
+
+namespace llcf {
+
+StreamingStats &
+CampaignAggregate::statsFor(const std::string &name)
+{
+    for (auto &[n, stats] : metrics_) {
+        if (n == name)
+            return stats;
+    }
+    metrics_.emplace_back(name, StreamingStats{});
+    return metrics_.back().second;
+}
+
+SuccessRate &
+CampaignAggregate::rateFor(const std::string &name)
+{
+    for (auto &[n, sr] : outcomes_) {
+        if (n == name)
+            return sr;
+    }
+    outcomes_.emplace_back(name, SuccessRate{});
+    return outcomes_.back().second;
+}
+
+void
+CampaignAggregate::fold(const TrialRecorder &rec)
+{
+    ++trials_;
+    for (const auto &[name, v] : rec.metrics())
+        statsFor(name).add(v);
+    for (const auto &[name, ok] : rec.outcomes())
+        rateFor(name).add(ok);
+}
+
+void
+CampaignAggregate::merge(const CampaignAggregate &other)
+{
+    trials_ += other.trials_;
+    for (const auto &[name, stats] : other.metrics_)
+        statsFor(name).merge(stats);
+    for (const auto &[name, sr] : other.outcomes_)
+        rateFor(name).merge(sr);
+}
+
+const StreamingStats *
+CampaignAggregate::metric(std::string_view name) const
+{
+    for (const auto &[n, stats] : metrics_) {
+        if (n == name)
+            return &stats;
+    }
+    return nullptr;
+}
+
+const SuccessRate *
+CampaignAggregate::outcome(std::string_view name) const
+{
+    for (const auto &[n, sr] : outcomes_) {
+        if (n == name)
+            return &sr;
+    }
+    return nullptr;
+}
+
+void
+CampaignAggregate::writeJsonMembers(JsonWriter &w,
+                                    const std::string &name,
+                                    std::uint64_t masterSeed) const
+{
+    w.member("name", name);
+    w.member("trials", static_cast<std::uint64_t>(trials_));
+    w.member("seed", masterSeed);
+    w.key("metrics").beginObject();
+    for (const auto &[n, stats] : metrics_) {
+        w.key(n);
+        writeStatsObject(w, stats);
+    }
+    w.endObject();
+    w.key("outcomes").beginObject();
+    for (const auto &[n, sr] : outcomes_) {
+        w.key(n).beginObject();
+        w.member("trials", static_cast<std::uint64_t>(sr.trials()));
+        w.member("successes",
+                 static_cast<std::uint64_t>(sr.successes()));
+        w.member("rate", sr.rate());
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void
+CampaignAggregate::writeState(JsonWriter &w) const
+{
+    w.beginObject();
+    w.member("trials", static_cast<std::uint64_t>(trials_));
+    w.key("metrics").beginArray();
+    for (const auto &[n, stats] : metrics_) {
+        const StreamingStatsState s = stats.state();
+        w.beginObject();
+        w.member("name", n);
+        w.member("count", s.count);
+        w.member("sum", s.sum);
+        w.member("sum_comp", s.sumComp);
+        w.member("mean", s.mean);
+        w.member("m2", s.m2);
+        w.member("min", s.min);
+        w.member("max", s.max);
+        w.key("head").beginArray();
+        for (double v : s.head)
+            w.value(v);
+        w.endArray();
+        w.key("levels").beginArray();
+        for (const auto &level : s.levels) {
+            w.beginArray();
+            for (double v : level)
+                w.value(v);
+            w.endArray();
+        }
+        w.endArray();
+        w.key("parity").beginArray();
+        for (std::uint8_t p : s.parity)
+            w.value(static_cast<std::uint64_t>(p));
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("outcomes").beginArray();
+    for (const auto &[n, sr] : outcomes_) {
+        w.beginObject();
+        w.member("name", n);
+        w.member("trials", static_cast<std::uint64_t>(sr.trials()));
+        w.member("successes",
+                 static_cast<std::uint64_t>(sr.successes()));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+namespace {
+
+/** Read a required numeric member; false + message otherwise. */
+bool
+numberField(const JsonValue &obj, const char *key, double &out,
+            std::string *error)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || !v->isNumber()) {
+        if (error)
+            *error = std::string("missing numeric field '") + key + "'";
+        return false;
+    }
+    out = v->asNumber();
+    return true;
+}
+
+} // namespace
+
+bool
+CampaignAggregate::fromState(const JsonValue &v, CampaignAggregate &out,
+                             std::string *error)
+{
+    out = CampaignAggregate{};
+    if (!v.isObject()) {
+        if (error)
+            *error = "aggregate state is not an object";
+        return false;
+    }
+    double trials = 0.0;
+    if (!numberField(v, "trials", trials, error))
+        return false;
+    out.trials_ = static_cast<std::size_t>(trials);
+
+    const JsonValue *metrics = v.find("metrics");
+    if (!metrics || !metrics->isArray()) {
+        if (error)
+            *error = "aggregate state has no metrics array";
+        return false;
+    }
+    for (const JsonValue &m : metrics->items()) {
+        const JsonValue *name = m.find("name");
+        if (!name) {
+            if (error)
+                *error = "metric state has no name";
+            return false;
+        }
+        StreamingStatsState s;
+        double count = 0.0;
+        if (!numberField(m, "count", count, error) ||
+            !numberField(m, "sum", s.sum, error) ||
+            !numberField(m, "sum_comp", s.sumComp, error) ||
+            !numberField(m, "mean", s.mean, error) ||
+            !numberField(m, "m2", s.m2, error) ||
+            !numberField(m, "min", s.min, error) ||
+            !numberField(m, "max", s.max, error))
+            return false;
+        s.count = static_cast<std::uint64_t>(count);
+        const JsonValue *head = m.find("head");
+        const JsonValue *levels = m.find("levels");
+        const JsonValue *parity = m.find("parity");
+        if (!head || !head->isArray() || !levels || !levels->isArray() ||
+            !parity || !parity->isArray()) {
+            if (error)
+                *error = "metric state is missing sketch arrays";
+            return false;
+        }
+        for (const JsonValue &h : head->items())
+            s.head.push_back(h.asNumber());
+        for (const JsonValue &level : levels->items()) {
+            s.levels.emplace_back();
+            for (const JsonValue &item : level.items())
+                s.levels.back().push_back(item.asNumber());
+        }
+        for (const JsonValue &p : parity->items())
+            s.parity.push_back(
+                static_cast<std::uint8_t>(p.asNumber()));
+        out.metrics_.emplace_back(name->asString(),
+                                  StreamingStats::fromState(s));
+    }
+
+    const JsonValue *outcomes = v.find("outcomes");
+    if (!outcomes || !outcomes->isArray()) {
+        if (error)
+            *error = "aggregate state has no outcomes array";
+        return false;
+    }
+    for (const JsonValue &o : outcomes->items()) {
+        const JsonValue *name = o.find("name");
+        double trialCount = 0.0;
+        double successes = 0.0;
+        if (!name || !numberField(o, "trials", trialCount, error) ||
+            !numberField(o, "successes", successes, error)) {
+            if (error && error->empty())
+                *error = "outcome state is malformed";
+            return false;
+        }
+        out.outcomes_.emplace_back(
+            name->asString(),
+            SuccessRate(static_cast<std::size_t>(trialCount),
+                        static_cast<std::size_t>(successes)));
+    }
+    return true;
+}
+
+} // namespace llcf

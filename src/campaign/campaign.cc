@@ -1,14 +1,19 @@
 #include "campaign.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <memory>
 #include <utility>
 
 #include "attack/e2e.hh"
+#include "campaign/checkpoint.hh"
 #include "common/log.hh"
 #include "common/options.hh"
 #include "common/rng.hh"
+#include "harness/thread_pool.hh"
 #include "victim/victim.hh"
 
 namespace llcf {
@@ -17,6 +22,13 @@ namespace {
 /** Sub-streams of one victim trial's victim seed. */
 constexpr std::uint64_t kProductionVictim = 0;
 constexpr std::uint64_t kTrainingReplica = 1;
+
+/**
+ * Stream index of the fork path's shared warmup world.  Deliberately
+ * outside the trial range [0, fleet), so no victim trial shares
+ * randomness with the warmup.
+ */
+constexpr std::uint64_t kWorldStream = 0xFFFFFFFFFFFFFFFFull;
 
 /** The noise profile victim @p v of the fleet runs under. */
 const std::string &
@@ -35,6 +47,218 @@ fleetLineIndexFor(const ScenarioSpec &spec, std::size_t v)
         (spec.fleetLineIndexBase +
          static_cast<std::uint64_t>(spec.fleetLineIndexStep) * v) %
         kLinesPerPage);
+}
+
+/** The explicit failure record of a victim whose attack never ran
+ *  (failed warmup on the fork path, failed Step 0 on rebuild). */
+void
+recordFailedVictim(TrialRecorder &rec, Cycles totalCycles)
+{
+    rec.outcome("evsets_built", false);
+    rec.outcome("target_found", false);
+    rec.outcome("target_correct", false);
+    rec.outcome("key_recovered", false);
+    rec.metric("build_cycles", 0.0);
+    rec.metric("scan_cycles", 0.0);
+    rec.metric("extract_cycles", 0.0);
+    rec.metric("total_cycles", static_cast<double>(totalCycles));
+    rec.metric("traces_collected", 0.0);
+    // No recovered_fraction / bit_error_rate samples: a victim that
+    // was never attacked contributes *absent* accuracy metrics, not
+    // fake zeros — summarizeCampaign and the bench gate handle the
+    // all-victims-failed fleet where these keys never appear at all.
+}
+
+/** Record one attack result under the campaign's canonical names. */
+void
+recordVictimResult(const ScenarioSpec &spec, TrialRecorder &rec,
+                   const E2EResult &res, Cycles totalCycles)
+{
+    rec.outcome("evsets_built", res.evsetsBuilt);
+    rec.outcome("target_found", res.targetFound);
+    rec.outcome("target_correct", res.targetCorrect);
+    const bool recovered =
+        res.targetCorrect && !res.recoveredFraction.empty() &&
+        !res.bitErrorRate.empty() &&
+        res.recoveredFraction.mean() >= spec.keyMinRecoveredFraction &&
+        res.bitErrorRate.mean() <= spec.keyMaxBitErrorRate;
+    rec.outcome("key_recovered", recovered);
+
+    rec.metric("build_cycles", static_cast<double>(res.buildTime));
+    rec.metric("scan_cycles", static_cast<double>(res.scanTime));
+    rec.metric("extract_cycles", static_cast<double>(res.extractTime));
+    rec.metric("total_cycles", static_cast<double>(totalCycles));
+    rec.metric("traces_collected",
+               static_cast<double>(res.tracesCollected));
+    for (double v : res.recoveredFraction.samples())
+        rec.metric("recovered_fraction", v);
+    for (double v : res.bitErrorRate.samples())
+        rec.metric("bit_error_rate", v);
+}
+
+/**
+ * The fork path's per-worker warmed world: Steps 0-2 run once, the
+ * machine and attacker session are snapshotted, and every victim
+ * trial on this worker restores the snapshot and pays only for its
+ * own Step-3 monitoring.  Every worker builds a bit-identical world
+ * (same spec, same kWorldStream seed), so which worker runs which
+ * trial cannot affect the aggregate.
+ */
+struct CampaignWorld
+{
+    CampaignWorld(const ScenarioSpec &s, std::uint64_t masterSeed);
+
+    ScenarioSpec spec;
+    ScenarioRig rig;
+    TraceClassifier classifier;
+    NonceExtractor extractor;
+    E2EParams params;
+
+    /** The scanned target eviction set, valid fleet-wide (uniform
+     *  fleet: every victim maps its target at the same line index). */
+    BuiltEvictionSet evset;
+
+    Machine::Snapshot machineSnap;
+    AttackSession::Snapshot sessionSnap;
+
+    bool scanOk = false;    //!< warmup reached a scanned target set
+    Cycles warmupCycles = 0; //!< one-time Steps 0-2 cost (simulated)
+};
+
+CampaignWorld::CampaignWorld(const ScenarioSpec &s,
+                             std::uint64_t masterSeed)
+    : spec(s), rig(s, streamSeed(masterSeed, kWorldStream))
+{
+    Machine &m = rig.machine;
+
+    // ---- Step 0: blind campaigns calibrate once; the cost lands in
+    // warmupCycles like the rest of the warmup.
+    if (spec.blind()) {
+        CalibratedTopology calib = runScenarioCalibration(spec, rig);
+        if (!calib.valid) {
+            warmupCycles = m.now();
+            return; // scanOk stays false: every victim fails explicitly
+        }
+    }
+
+    // All fleet victims share one layout on the fork path.
+    VictimConfig base;
+    base.targetLineIndex = fleetLineIndexFor(spec, 0);
+    base.requestQuota = 0;
+
+    // ---- classifier training on an attacker-side replica.
+    VictimConfig rcfg = base;
+    rcfg.seed = streamSeed(rig.victimSeed(), kTrainingReplica);
+    VictimService replica(m, rcfg);
+    classifier = trainScenarioClassifier(spec, rig, replica);
+
+    params.algo = spec.algo;
+    params.useFilter = spec.useFilter;
+    params.tracesPerVictim = spec.tracesPerVictim;
+    params.scanner.timeout = secToCycles(spec.scanTimeoutSec);
+
+    // ---- Step 1: eviction sets at the fleet's target line index.
+    EvictionSetBuilder builder(*rig.session, spec.algo, spec.useFilter);
+    BulkOutcome built =
+        builder.buildAtLineIndex(*rig.pool, base.targetLineIndex);
+    if (built.evsets.empty()) {
+        warmupCycles = m.now();
+        return;
+    }
+
+    // ---- fork point.  The snapshot is taken *before* the scan victim
+    // exists, so each restored trial's production victim allocates the
+    // exact frames the scan victim drew here — the scanned set stays
+    // the true target set for every forked victim.
+    machineSnap = m.snapshot();
+    sessionSnap = rig.session->snapshot();
+
+    // ---- Step 2: identify the target SF set against a stand-in
+    // victim with the fleet layout.
+    VictimConfig scfg = base;
+    scfg.seed = streamSeed(rig.victimSeed(), kProductionVictim);
+    VictimService scanVictim(m, scfg);
+    scanVictim.serveRequests(
+        m.now(),
+        EndToEndAttack::scanRequestCount(scanVictim, params.scanner));
+    TargetSetScanner scanner(*rig.session, classifier);
+    ScanResult scan = scanner.scan(built.evsets);
+    m.clearStreams();
+    warmupCycles = m.now();
+    if (!scan.found)
+        return;
+    evset = built.evsets[scan.evsetIndex];
+    scanOk = true;
+}
+
+/**
+ * Distinguishes campaign runs so stale thread_local worlds from a
+ * previous run (or a previous pool's recycled thread) are never
+ * reused across (spec, seed) boundaries.
+ */
+std::atomic<std::uint64_t> campaignRunToken{0};
+
+/** This worker's warmed world for run @p token (built on first use). */
+CampaignWorld &
+workerWorld(const ScenarioSpec &spec, std::uint64_t masterSeed,
+            std::uint64_t token)
+{
+    struct WorldSlot
+    {
+        std::uint64_t token = 0;
+        std::unique_ptr<CampaignWorld> world;
+    };
+    thread_local WorldSlot slot;
+    if (slot.token != token || !slot.world) {
+        slot.world = std::make_unique<CampaignWorld>(spec, masterSeed);
+        slot.token = token;
+    }
+    return *slot.world;
+}
+
+/**
+ * One victim's trial body on the fork path: restore the post-build
+ * snapshot, create this victim (own key, own quota, shared layout)
+ * and run the Step-3 monitoring loop against the pre-scanned set.
+ */
+void
+runForkedVictimTrial(CampaignWorld &world, const ScenarioSpec &spec,
+                     TrialContext &ctx, TrialRecorder &rec)
+{
+    if (!world.scanOk) {
+        // Warmup failed (blind calibration, Step 1 or Step 2): there
+        // is no set to monitor, so every victim in the fleet fails
+        // explicitly.  The one-time warmup cost is still charged via
+        // trial 0's warmup_cycles metric below.
+        recordFailedVictim(rec, 0);
+        if (ctx.index == 0)
+            rec.metric("warmup_cycles",
+                       static_cast<double>(world.warmupCycles));
+        return;
+    }
+
+    Machine &m = world.rig.machine;
+    m.restore(world.machineSnap);
+    world.rig.session->restore(world.sessionSnap);
+    const Cycles start = m.now();
+
+    VictimConfig vcfg;
+    vcfg.seed = streamSeed(ctx.seed, kProductionVictim);
+    vcfg.targetLineIndex = fleetLineIndexFor(spec, ctx.index);
+    vcfg.requestQuota = spec.victimRequestQuota;
+    VictimService victim(m, vcfg);
+
+    EndToEndAttack attack(*world.rig.session, victim, world.classifier,
+                          world.extractor, world.params);
+    E2EResult res = attack.runFromScan(world.evset);
+
+    // Per-victim marginal cost: only this victim's monitoring time.
+    // The shared Steps 0-2 cost is charged once (warmup_cycles).
+    recordVictimResult(spec, rec, res, m.now() - start);
+    recordPerfCounters(rec, m.perfCounters());
+    if (ctx.index == 0)
+        rec.metric("warmup_cycles",
+                   static_cast<double>(world.warmupCycles));
 }
 
 } // namespace
@@ -65,16 +289,7 @@ runCampaignVictimTrial(const ScenarioSpec &spec, TrialContext &ctx,
             // Step 0 came home empty: the attack cannot proceed.
             // Record the explicit empty outcomes so the fleet
             // aggregates stay comparable with successful victims.
-            rec.outcome("evsets_built", false);
-            rec.outcome("target_found", false);
-            rec.outcome("target_correct", false);
-            rec.outcome("key_recovered", false);
-            rec.metric("build_cycles", 0.0);
-            rec.metric("scan_cycles", 0.0);
-            rec.metric("extract_cycles", 0.0);
-            rec.metric("total_cycles",
-                       static_cast<double>(calibCycles));
-            rec.metric("traces_collected", 0.0);
+            recordFailedVictim(rec, calibCycles);
             recordPerfCounters(rec, rig.machine.perfCounters());
             return;
         }
@@ -107,30 +322,32 @@ runCampaignVictimTrial(const ScenarioSpec &spec, TrialContext &ctx,
                           params);
     E2EResult res = attack.run(*rig.pool);
 
-    rec.outcome("evsets_built", res.evsetsBuilt);
-    rec.outcome("target_found", res.targetFound);
-    rec.outcome("target_correct", res.targetCorrect);
-    const bool recovered =
-        res.targetCorrect && !res.recoveredFraction.empty() &&
-        !res.bitErrorRate.empty() &&
-        res.recoveredFraction.mean() >= spec.keyMinRecoveredFraction &&
-        res.bitErrorRate.mean() <= spec.keyMaxBitErrorRate;
-    rec.outcome("key_recovered", recovered);
-
-    rec.metric("build_cycles", static_cast<double>(res.buildTime));
-    rec.metric("scan_cycles", static_cast<double>(res.scanTime));
-    rec.metric("extract_cycles", static_cast<double>(res.extractTime));
-    rec.metric("total_cycles",
-               static_cast<double>(res.totalTime() + calibCycles));
-    rec.metric("traces_collected",
-               static_cast<double>(res.tracesCollected));
-    for (double v : res.recoveredFraction.samples())
-        rec.metric("recovered_fraction", v);
-    for (double v : res.bitErrorRate.samples())
-        rec.metric("bit_error_rate", v);
+    recordVictimResult(spec, rec, res, res.totalTime() + calibCycles);
     // Campaigns always aggregate the hierarchy counters: BENCH_e2e
     // is new output, so there is no historical byte content to keep.
     recordPerfCounters(rec, rig.machine.perfCounters());
+}
+
+CampaignSummary
+summarizeCampaign(const CampaignAggregate &aggregate)
+{
+    CampaignSummary s;
+    s.fleet = aggregate.trials();
+    if (const SuccessRate *kr = aggregate.outcome("key_recovered")) {
+        s.keysRecovered = kr->successes();
+        s.fleetSuccessRate = kr->rate();
+    }
+    // Exact streaming sums; a fleet whose every victim failed before
+    // the attack simply has no such metrics, leaving the explicit 0.
+    if (const StreamingStats *total = aggregate.metric("total_cycles"))
+        s.totalAttackCycles = total->sum();
+    if (const StreamingStats *warm = aggregate.metric("warmup_cycles"))
+        s.totalAttackCycles += warm->sum();
+    s.cyclesPerRecoveredKey =
+        s.keysRecovered
+            ? s.totalAttackCycles / static_cast<double>(s.keysRecovered)
+            : std::numeric_limits<double>::quiet_NaN();
+    return s;
 }
 
 CampaignSummary
@@ -143,8 +360,9 @@ summarizeCampaign(const ExperimentResult &experiment)
         s.fleetSuccessRate = kr->rate();
     }
     if (const SampleStats *total = experiment.metric("total_cycles")) {
-        s.totalAttackCycles =
-            total->mean() * static_cast<double>(total->count());
+        // The exact compensated sum — mean()*count round-trips the
+        // already-rounded mean and is off by ulps at fleet scale.
+        s.totalAttackCycles = total->sum();
     }
     s.cyclesPerRecoveredKey =
         s.keysRecovered
@@ -157,7 +375,7 @@ void
 CampaignResult::writeJson(JsonWriter &w) const
 {
     w.beginObject();
-    experiment.writeJsonMembers(w);
+    aggregate.writeJsonMembers(w, name, masterSeed);
     w.key("campaign").beginObject();
     w.member("fleet", static_cast<std::uint64_t>(summary.fleet));
     w.member("keys_recovered",
@@ -176,17 +394,109 @@ KeyRecoveryCampaign::KeyRecoveryCampaign(ScenarioSpec spec)
     if (spec_.stage != ScenarioStage::Campaign)
         fatal("campaign '%s': spec stage is %s, not campaign",
               spec_.name.c_str(), scenarioStageName(spec_.stage));
+    if (spec_.forkVictims &&
+        (spec_.fleetLineIndexStep != 0 || !spec_.fleetNoises.empty()))
+        fatal("campaign '%s': forkVictims needs a uniform fleet "
+              "(fleetLineIndexStep == 0, no fleetNoises rotation) — "
+              "the one-time scan is only valid when every victim "
+              "shares the layout and environment",
+              spec_.name.c_str());
 }
 
 CampaignResult
-KeyRecoveryCampaign::run(std::size_t fleet, unsigned threads,
-                         std::uint64_t masterSeed) const
+KeyRecoveryCampaign::run(const CampaignRunOptions &opts) const
 {
     const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t fleet = opts.fleet ? opts.fleet : spec_.fleetSize;
+    const unsigned threads = resolveThreadCount(opts.threads);
+
     CampaignResult out;
-    out.experiment = runScenario(
-        spec_, fleet ? fleet : spec_.fleetSize, threads, masterSeed);
-    out.summary = summarizeCampaign(out.experiment);
+    out.name = spec_.name;
+    out.trials = fleet;
+    out.masterSeed = opts.masterSeed;
+    out.threadsUsed = threads;
+
+    // ---- resume: adopt the checkpointed aggregate, continue at the
+    // recorded trial.  A missing file is a fresh start; a mismatched
+    // or unreadable one is an operator error, not something to paper
+    // over by silently recomputing.
+    std::size_t nextTrial = 0;
+    if (opts.resume && !opts.checkpointPath.empty()) {
+        if (std::FILE *f = std::fopen(opts.checkpointPath.c_str(), "r")) {
+            std::fclose(f);
+            CampaignCheckpoint cp;
+            std::string err;
+            if (!loadCampaignCheckpoint(opts.checkpointPath, cp, &err))
+                fatal("campaign '%s': cannot resume: %s",
+                      spec_.name.c_str(), err.c_str());
+            if (cp.campaign != spec_.name || cp.fleet != fleet ||
+                cp.masterSeed != opts.masterSeed ||
+                cp.shardTrials != kCampaignShardTrials)
+                fatal("campaign '%s': checkpoint %s belongs to a "
+                      "different run (campaign '%s', fleet %llu, seed "
+                      "%llu, shard %llu)",
+                      spec_.name.c_str(), opts.checkpointPath.c_str(),
+                      cp.campaign.c_str(),
+                      static_cast<unsigned long long>(cp.fleet),
+                      static_cast<unsigned long long>(cp.masterSeed),
+                      static_cast<unsigned long long>(cp.shardTrials));
+            out.aggregate = std::move(cp.aggregate);
+            nextTrial = static_cast<std::size_t>(cp.nextTrial);
+        }
+    }
+
+    // One token per run: recycled worker threads must not reuse a
+    // world warmed for a different (spec, seed).
+    const std::uint64_t token = ++campaignRunToken;
+
+    ThreadPool pool(threads);
+    std::size_t shardsRun = 0;
+    while (nextTrial < fleet) {
+        if (opts.stopAfterShards && shardsRun >= opts.stopAfterShards) {
+            out.interrupted = true;
+            break;
+        }
+        const std::size_t shardEnd =
+            std::min(fleet, nextTrial + kCampaignShardTrials);
+        const std::size_t count = shardEnd - nextTrial;
+
+        // Per-trial slots, folded in trial order below: the aggregate
+        // is a function of (spec, seed, fleet) alone, whatever the
+        // worker count or schedule.
+        std::vector<TrialRecorder> slots(count);
+        pool.parallelFor(count, [&, nextTrial](std::size_t i) {
+            const std::size_t trial = nextTrial + i;
+            TrialContext ctx{trial, streamSeed(opts.masterSeed, trial),
+                             Rng::forStream(opts.masterSeed, trial)};
+            if (spec_.forkVictims) {
+                CampaignWorld &world =
+                    workerWorld(spec_, opts.masterSeed, token);
+                runForkedVictimTrial(world, spec_, ctx, slots[i]);
+            } else {
+                runCampaignVictimTrial(spec_, ctx, slots[i]);
+            }
+        });
+        for (const TrialRecorder &slot : slots)
+            out.aggregate.fold(slot);
+        nextTrial = shardEnd;
+        ++shardsRun;
+
+        if (!opts.checkpointPath.empty()) {
+            CampaignCheckpoint cp;
+            cp.campaign = spec_.name;
+            cp.fleet = fleet;
+            cp.masterSeed = opts.masterSeed;
+            cp.shardTrials = kCampaignShardTrials;
+            cp.nextTrial = nextTrial;
+            cp.aggregate = out.aggregate;
+            std::string err;
+            if (!writeCampaignCheckpoint(opts.checkpointPath, cp, &err))
+                fatal("campaign '%s': checkpoint write failed: %s",
+                      spec_.name.c_str(), err.c_str());
+        }
+    }
+
+    out.summary = summarizeCampaign(out.aggregate);
     const auto t1 = std::chrono::steady_clock::now();
     out.summary.wallSeconds =
         std::chrono::duration<double>(t1 - t0).count();
@@ -207,6 +517,11 @@ CampaignSuite::contextValue(std::string key, double v)
 void
 CampaignSuite::add(CampaignResult result)
 {
+    if (result.interrupted)
+        fatal("campaign suite '%s': refusing to serialise the "
+              "interrupted campaign '%s' — resume it to completion "
+              "first",
+              bench_.c_str(), result.name.c_str());
     results_.push_back(std::move(result));
 }
 

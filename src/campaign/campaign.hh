@@ -10,13 +10,23 @@
  * page offset inside its binary, its own noise environment and
  * (optionally) a request quota.
  *
- * Determinism contract: one victim is one harness trial, and each
- * trial rebuilds its complete world (Machine, AttackSession,
- * CandidatePool, VictimService, classifier) from the trial's
- * positional RNG stream.  The experiment runner shards trials across
- * worker threads and merges per-trial slots in trial order, so a
- * campaign's aggregate — and its BENCH_e2e.json serialisation — is
- * byte-identical for 1 or 8 worker threads (DESIGN.md §6).
+ * Execution is sharded: trials run in fixed-width shards (one victim
+ * is one trial), each shard fans across the worker pool into
+ * per-trial slots, and slots fold into a streaming CampaignAggregate
+ * strictly in trial order.  Shard width is thread-count-independent,
+ * so the aggregate — and its BENCH_e2e.json serialisation — is
+ * byte-identical for 1 or 8 worker threads (DESIGN.md §6, §9).  At
+ * each shard boundary the runner can checkpoint the aggregate plus
+ * the next trial index; a resumed campaign finishes with JSON
+ * byte-identical to an uninterrupted one.
+ *
+ * Two trial bodies exist: the rebuild path (every trial constructs
+ * its complete world from its positional stream — the original,
+ * per-victim-expensive contract) and the fork path
+ * (ScenarioSpec::forkVictims — each worker warms one world once,
+ * snapshots it after Steps 0-2, and every victim restores the
+ * snapshot and pays only for Step 3), which is what 10^5+-victim
+ * fleets run on.
  */
 
 #ifndef LLCF_CAMPAIGN_CAMPAIGN_HH
@@ -25,9 +35,17 @@
 #include <string>
 #include <vector>
 
+#include "campaign/aggregate.hh"
 #include "scenario/scenario.hh"
 
 namespace llcf {
+
+/**
+ * Trials per campaign shard.  Fixed (never derived from the thread
+ * count) so checkpoint boundaries — and therefore resumed runs — are
+ * identical at any parallelism.
+ */
+constexpr std::size_t kCampaignShardTrials = 64;
 
 /** Cross-victim aggregate of one campaign run. */
 struct CampaignSummary
@@ -38,7 +56,12 @@ struct CampaignSummary
     /** keysRecovered / fleet (0 when the fleet is empty). */
     double fleetSuccessRate = 0.0;
 
-    /** Sum of per-victim attack time (simulated cycles). */
+    /**
+     * Sum of per-victim attack time (simulated cycles), computed with
+     * the exact compensated sum — never the lossy mean()*count round
+     * trip — plus the one-time warmup cost in fork mode.  0 when the
+     * campaign recorded no cycle metrics at all (e.g. an empty fleet).
+     */
     double totalAttackCycles = 0.0;
 
     /**
@@ -53,10 +76,23 @@ struct CampaignSummary
     double wallSeconds = 0.0;
 };
 
-/** One campaign's per-victim aggregates plus the fleet summary. */
+/** One campaign's streaming aggregates plus the fleet summary. */
 struct CampaignResult
 {
-    ExperimentResult experiment; //!< per-victim metrics/outcomes
+    std::string name;              //!< scenario name
+    std::size_t trials = 0;        //!< fleet size of the (full) run
+    std::uint64_t masterSeed = 0;  //!< root of the per-victim streams
+    unsigned threadsUsed = 0;      //!< workers (not serialised)
+    CampaignAggregate aggregate;   //!< per-victim metrics/outcomes
+
+    /**
+     * True when the run stopped at a shard boundary before the fleet
+     * completed (CampaignRunOptions::stopAfterShards).  An
+     * interrupted result must not be serialised as a finished BENCH
+     * entry; resume from the checkpoint instead.
+     */
+    bool interrupted = false;
+
     CampaignSummary summary;
 
     /**
@@ -68,15 +104,46 @@ struct CampaignResult
 };
 
 /**
- * Derive the fleet summary from a campaign experiment's aggregates
- * (the "key_recovered" outcome and "total_cycles" metric).  Pure, so
- * tests can feed synthetic experiments.
+ * Derive the fleet summary from a campaign's streaming aggregates
+ * (the "key_recovered" outcome and "total_cycles" metric, plus the
+ * fork path's one-time "warmup_cycles").  Handles aggregates where
+ * metrics are entirely absent — e.g. a fleet whose every victim
+ * failed blind calibration never records recovered_fraction — by
+ * leaving the corresponding summary fields at their explicit
+ * defaults.  Pure, so tests can feed synthetic aggregates.
  */
+CampaignSummary summarizeCampaign(const CampaignAggregate &aggregate);
+
+/** Same derivation from an exact experiment aggregate (bench_matrix
+ *  runs campaign scenarios through the plain harness). */
 CampaignSummary summarizeCampaign(const ExperimentResult &experiment);
+
+/** How a campaign run executes (fleet, workers, checkpointing). */
+struct CampaignRunOptions
+{
+    std::size_t fleet = 0;    //!< victims; 0 = spec.fleetSize
+    unsigned threads = 0;     //!< workers (0 = LLCF_THREADS / hw)
+    std::uint64_t masterSeed = 42;
+
+    /** Checkpoint file updated at every shard boundary ("" = none). */
+    std::string checkpointPath;
+
+    /**
+     * Resume from checkpointPath if it exists: completed shards are
+     * loaded, execution continues at the recorded trial.  A
+     * checkpoint whose identity (campaign, fleet, seed, shard width)
+     * does not match this run is fatal, not silently ignored.
+     */
+    bool resume = false;
+
+    /** Stop after this many shards have run (0 = run to completion);
+     *  the scripted-interrupt hook for checkpoint tests and CI. */
+    std::size_t stopAfterShards = 0;
+};
 
 /**
  * Runs one campaign scenario (a ScenarioSpec with
- * ScenarioStage::Campaign) on the experiment harness.
+ * ScenarioStage::Campaign) on the sharded streaming runner.
  */
 class KeyRecoveryCampaign
 {
@@ -86,28 +153,40 @@ class KeyRecoveryCampaign
 
     const ScenarioSpec &spec() const { return spec_; }
 
+    /** Attack a fleet with full control over sharding/checkpoints. */
+    CampaignResult run(const CampaignRunOptions &opts) const;
+
     /**
-     * Attack a fleet.
+     * Attack a fleet (no checkpointing).
      *
      * @param fleet Victims to run; 0 = spec.fleetSize.
      * @param threads Harness workers (0 = LLCF_THREADS / hardware).
      * @param masterSeed Root of the per-victim RNG streams.
      */
-    CampaignResult run(std::size_t fleet = 0, unsigned threads = 0,
-                       std::uint64_t masterSeed = 42) const;
+    CampaignResult
+    run(std::size_t fleet = 0, unsigned threads = 0,
+        std::uint64_t masterSeed = 42) const
+    {
+        CampaignRunOptions opts;
+        opts.fleet = fleet;
+        opts.threads = threads;
+        opts.masterSeed = masterSeed;
+        return run(opts);
+    }
 
   private:
     ScenarioSpec spec_;
 };
 
 /**
- * One victim's trial body: rebuild the victim's world from the trial
- * stream, run the full EndToEndAttack, and record the per-victim
- * outcomes ("evsets_built", "target_found", "target_correct",
- * "key_recovered"), stage cycle metrics, recovered-fraction /
- * bit-error-rate samples, traces_collected and the pc_* counters.
- * Dispatched by runScenarioTrial for ScenarioStage::Campaign, so
- * campaign scenarios also run under bench_matrix --scenario=.
+ * One victim's trial body on the rebuild path: construct the victim's
+ * world from the trial stream, run the full EndToEndAttack, and
+ * record the per-victim outcomes ("evsets_built", "target_found",
+ * "target_correct", "key_recovered"), stage cycle metrics,
+ * recovered-fraction / bit-error-rate samples, traces_collected and
+ * the pc_* counters.  Dispatched by runScenarioTrial for
+ * ScenarioStage::Campaign, so campaign scenarios also run under
+ * bench_matrix --scenario=.
  */
 void runCampaignVictimTrial(const ScenarioSpec &spec, TrialContext &ctx,
                             TrialRecorder &rec);

@@ -1,0 +1,96 @@
+#include "checkpoint.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace llcf {
+
+std::string
+campaignCheckpointJson(const CampaignCheckpoint &cp)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.member("campaign", cp.campaign);
+    w.member("fleet", cp.fleet);
+    // Seeds are full 64-bit values; JSON numbers are doubles, so the
+    // seed goes through a string to survive the round trip exactly.
+    w.member("master_seed", std::to_string(cp.masterSeed));
+    w.member("shard_trials", cp.shardTrials);
+    w.member("next_trial", cp.nextTrial);
+    w.key("aggregate");
+    cp.aggregate.writeState(w);
+    w.endObject();
+    return w.str();
+}
+
+bool
+writeCampaignCheckpoint(const std::string &path,
+                        const CampaignCheckpoint &cp, std::string *error)
+{
+    const std::string doc = campaignCheckpointJson(cp);
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        if (error)
+            *error = "cannot open " + tmp + " for writing";
+        return false;
+    }
+    const bool wrote =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+        std::fputc('\n', f) != EOF;
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+        if (error)
+            *error = "error writing " + tmp;
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (error)
+            *error = "cannot rename " + tmp + " to " + path;
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+loadCampaignCheckpoint(const std::string &path, CampaignCheckpoint &out,
+                       std::string *error)
+{
+    JsonValue doc;
+    if (!loadJsonFile(path, doc, error))
+        return false;
+    if (!doc.isObject()) {
+        if (error)
+            *error = path + ": checkpoint is not a JSON object";
+        return false;
+    }
+    const JsonValue *campaign = doc.find("campaign");
+    const JsonValue *fleet = doc.find("fleet");
+    const JsonValue *seed = doc.find("master_seed");
+    const JsonValue *shard = doc.find("shard_trials");
+    const JsonValue *next = doc.find("next_trial");
+    const JsonValue *agg = doc.find("aggregate");
+    if (!campaign || !fleet || !fleet->isNumber() || !seed ||
+        !shard || !shard->isNumber() || !next || !next->isNumber() ||
+        !agg) {
+        if (error)
+            *error = path + ": checkpoint is missing required fields";
+        return false;
+    }
+    out.campaign = campaign->asString();
+    out.fleet = static_cast<std::uint64_t>(fleet->asNumber());
+    out.masterSeed = std::strtoull(seed->asString().c_str(), nullptr, 10);
+    out.shardTrials = static_cast<std::uint64_t>(shard->asNumber());
+    out.nextTrial = static_cast<std::uint64_t>(next->asNumber());
+    std::string aggError;
+    if (!CampaignAggregate::fromState(*agg, out.aggregate, &aggError)) {
+        if (error)
+            *error = path + ": " + aggError;
+        return false;
+    }
+    return true;
+}
+
+} // namespace llcf

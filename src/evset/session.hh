@@ -171,6 +171,37 @@ class AttackSession
     /** True iff the wall-clock deadline passed. */
     bool expired(Cycles deadline) const { return machine_.now() > deadline; }
 
+    // ------------------------------------------------ fork snapshots
+
+    /**
+     * Attacker-side state that advances while the attack runs; the
+     * campaign fork path restores it together with Machine::Snapshot
+     * so every forked victim sees the identical attacker.  Topology
+     * is not captured: it is fixed once adopted.
+     */
+    struct Snapshot
+    {
+        Rng rng;
+        std::uint64_t testCount = 0;
+        AddressSpace::State space;
+    };
+
+    /** Capture attacker RNG, test counter and mappings. */
+    Snapshot
+    snapshot() const
+    {
+        return {rng_, testCount_, space_->saveState()};
+    }
+
+    /** Restore a state captured on this session. */
+    void
+    restore(const Snapshot &s)
+    {
+        rng_ = s.rng;
+        testCount_ = s.testCount;
+        space_->restoreState(s.space);
+    }
+
   private:
     Machine &machine_;
     AttackerConfig cfg_;

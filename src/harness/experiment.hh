@@ -51,6 +51,20 @@ class TrialRecorder
     /** Record one boolean outcome under @p name. */
     void outcome(std::string_view name, bool success);
 
+    /** Recorded samples in record order (campaign shard folding). */
+    const std::vector<std::pair<std::string, double>> &
+    metrics() const
+    {
+        return metrics_;
+    }
+
+    /** Recorded outcomes in record order (campaign shard folding). */
+    const std::vector<std::pair<std::string, bool>> &
+    outcomes() const
+    {
+        return outcomes_;
+    }
+
   private:
     friend class ExperimentRunner;
 

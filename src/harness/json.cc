@@ -272,6 +272,26 @@ writeStatsObject(JsonWriter &w, const SampleStats &stats)
     w.endObject();
 }
 
+void
+writeStatsObject(JsonWriter &w, const StreamingStats &stats)
+{
+    w.beginObject();
+    w.member("count", static_cast<std::uint64_t>(stats.count()));
+    if (stats.empty()) {
+        w.key("mean").null();
+        w.key("stddev").null();
+    } else {
+        w.member("mean", stats.mean());
+        w.member("stddev", stats.stddev());
+        w.member("min", stats.min());
+        w.member("p10", stats.percentile(10.0));
+        w.member("median", stats.median());
+        w.member("p90", stats.percentile(90.0));
+        w.member("max", stats.max());
+    }
+    w.endObject();
+}
+
 const std::string &
 JsonWriter::str() const
 {

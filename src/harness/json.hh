@@ -174,6 +174,13 @@ std::string jsonEscape(std::string_view s);
 void writeStatsObject(JsonWriter &w, const SampleStats &stats);
 
 /**
+ * Same object shape for a StreamingStats aggregate.  While the
+ * accumulator is still in its exact head phase (all committed smoke
+ * fleets are) the emitted bytes match the SampleStats overload.
+ */
+void writeStatsObject(JsonWriter &w, const StreamingStats &stats);
+
+/**
  * Format a double the way the harness stores it: shortest form that
  * round-trips ("%.17g" collapsed when fewer digits suffice), with
  * non-finite values mapped to null per JSON rules.

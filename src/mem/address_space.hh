@@ -111,6 +111,25 @@ class AddressSpace
     /** Number of mapped pages. */
     std::size_t pageCount() const { return pageTable_.size(); }
 
+    /** Value snapshot of the mapping table (fork/restore). */
+    struct State
+    {
+        std::unordered_map<Addr, Addr> pageTable;
+        Addr nextVa = 0;
+    };
+
+    /** Capture the current mappings. */
+    State saveState() const { return {pageTable_, nextVa_}; }
+
+    /** Restore mappings captured on this space (frames must still be
+     *  owned, i.e. the backing allocator was restored alongside). */
+    void
+    restoreState(const State &s)
+    {
+        pageTable_ = s.pageTable;
+        nextVa_ = s.nextVa;
+    }
+
   private:
     PageAllocator &allocator_;
     std::unordered_map<Addr, Addr> pageTable_; //!< VA page -> PA frame

@@ -229,6 +229,38 @@ makeBuiltins()
         s.victimRequestQuota = 200;
         reg.add(s);
     }
+    {
+        // Fork-mode anchor: a uniform fleet wide enough to span two
+        // checkpoint shards (64 trials each), so the snapshot-fork
+        // and interrupt/resume paths stay covered at CI speed.
+        ScenarioSpec s = campaignBase(
+            "campaign-fork-tiny-silent-96",
+            "Forked 96-victim uniform fleet on the tiny silent host",
+            M::TinyTest, 2, R::LRU, "silent", 96);
+        s.forkVictims = true;
+        s.fleetLineIndexStep = 0; // uniform layout: fork prerequisite
+        s.scanTimeoutSec = 1.0;
+        s.tracesPerVictim = 1;
+        reg.add(s);
+    }
+    {
+        // The paper-scale tier (bench_e2e --full-scale): 10^5 forked
+        // victims off one warmed world, streaming aggregation keeping
+        // per-metric memory O(1).  Far too large for the default
+        // selection; CI gates a LLCF_TRIALS-reduced fleet against the
+        // committed BENCH_fullscale.json (its bands are
+        // count-independent).
+        ScenarioSpec s = campaignBase(
+            "campaign-fork-tiny-silent-100k",
+            "Full-scale fleet: 100,000 forked victims, one warmup",
+            M::TinyTest, 2, R::LRU, "silent", 100000);
+        s.forkVictims = true;
+        s.fullScaleOnly = true;
+        s.fleetLineIndexStep = 0;
+        s.scanTimeoutSec = 1.0;
+        s.tracesPerVictim = 1;
+        reg.add(s);
+    }
 
     // ---- Step-0 blind topology calibration (bench_calib's domain):
     // oracle-free recovery of W_LLC / W_SF / slices / uncertainty,

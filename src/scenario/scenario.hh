@@ -102,6 +102,23 @@ struct ScenarioSpec
     /** Per-victim request quota (0 = unlimited); see VictimConfig. */
     std::uint64_t victimRequestQuota = 0;
 
+    /**
+     * Fork victims from a warmed-world snapshot instead of rebuilding
+     * the whole world per trial: each campaign worker builds ONE
+     * world (machine, session, classifier, Step-1 eviction sets, the
+     * one-time Step-2 scan), snapshots it, and every victim trial
+     * restores the snapshot and runs only the Step-3 monitoring loop
+     * against its own key.  This is what makes >= 10^5-victim fleets
+     * tractable.  Requires a uniform fleet — fleetLineIndexStep == 0
+     * and no fleetNoises rotation — so the scanned eviction set is
+     * valid for every victim (fatal otherwise).
+     */
+    bool forkVictims = false;
+
+    /** Exclude from default bench selections; run only under
+     *  --full-scale (or by explicit --scenario= name). */
+    bool fullScaleOnly = false;
+
     /** A victim's key counts as recovered iff the correct SF set was
      *  monitored and the mean recovered fraction / bit error rate of
      *  its traces clear these bands. */

@@ -796,4 +796,62 @@ Machine::clearStreams()
     updateQuiescent();
 }
 
+Machine::Snapshot
+Machine::snapshot() const
+{
+    Snapshot s;
+    s.rng = rng_;
+    s.jitterRng = jitterRng_;
+    s.allocator = allocator_;
+    s.nextAsid = nextAsid_;
+    s.l1.reserve(l1_.size());
+    for (const CacheArray &a : l1_)
+        s.l1.push_back(a.saveState());
+    s.l2.reserve(l2_.size());
+    for (const CacheArray &a : l2_)
+        s.l2.push_back(a.saveState());
+    s.llc = llc_.saveState();
+    s.sf = sf_.saveState();
+    s.privateHitStreak = privateHitStreak_;
+    s.clock = clock_;
+    s.lastSync = lastSync_;
+    s.hasStream = hasStream_;
+    s.setStreams = setStreams_;
+    s.streams = streams_;
+    s.nextStreamId = nextStreamId_;
+    s.noiseCounter = noiseCounter_;
+    s.quiescent = quiescent_;
+    s.stats = stats_;
+    s.perf = perf_;
+    return s;
+}
+
+void
+Machine::restore(const Snapshot &s)
+{
+    if (s.l1.size() != l1_.size() || s.l2.size() != l2_.size())
+        panic("machine snapshot does not match this configuration");
+    rng_ = s.rng;
+    jitterRng_ = s.jitterRng;
+    allocator_ = s.allocator;
+    nextAsid_ = s.nextAsid;
+    for (std::size_t i = 0; i < l1_.size(); ++i)
+        l1_[i].restoreState(s.l1[i]);
+    for (std::size_t i = 0; i < l2_.size(); ++i)
+        l2_[i].restoreState(s.l2[i]);
+    llc_.restoreState(s.llc);
+    sf_.restoreState(s.sf);
+    privateHitStreak_ = s.privateHitStreak;
+    clock_ = s.clock;
+    lastSync_ = s.lastSync;
+    hasStream_ = s.hasStream;
+    setStreams_ = s.setStreams;
+    streams_ = s.streams;
+    nextStreamId_ = s.nextStreamId;
+    noiseCounter_ = s.noiseCounter;
+    quiescent_ = s.quiescent;
+    stats_ = s.stats;
+    perf_ = s.perf;
+}
+
 } // namespace llcf

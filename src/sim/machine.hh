@@ -88,6 +88,21 @@ struct MachineStats
 };
 
 /**
+ * One registered background access stream (absolute-time events
+ * replayed lazily per shared set).  Namespace-scope so a Machine
+ * snapshot can carry the pending streams by value.
+ */
+struct MachineStream
+{
+    std::uint64_t id = 0;
+    unsigned core = 0;
+    Addr line = 0;
+    bool isStore = false;
+    std::vector<Cycles> times;
+    std::size_t cursor = 0;
+};
+
+/**
  * A simulated host.  All memory operations take physical line
  * addresses; callers translate via AddressSpace (attack code treats
  * the translated values as opaque pointers and never inspects PA
@@ -267,6 +282,50 @@ class Machine
     /** Total shared sets (slices x sets per slice). */
     unsigned totalSharedSets() const { return llc_.geometry().totalSets(); }
 
+    // ------------------------------------------------ fork snapshots
+
+    /**
+     * Value snapshot of the whole simulated machine — cache planes,
+     * clock, RNGs, frame allocator, background-replay state and
+     * counters.  Campaigns warm one world, snapshot it, and fork every
+     * victim trial from the copy instead of rebuilding (the machine
+     * itself is non-copyable because the SoA planes alias, so state is
+     * captured by value and restored in place).  Config and noise
+     * profile are not captured: a snapshot may only be restored onto
+     * the machine that took it (or an identically-configured clone).
+     */
+    struct Snapshot
+    {
+        Rng rng;
+        Rng jitterRng;
+        // 1-frame placeholder until snapshot() copies the real pool
+        // (PageAllocator rejects an empty pool by design).
+        PageAllocator allocator{1, Rng{}};
+        unsigned nextAsid = 0;
+        std::vector<CacheArrayState> l1;
+        std::vector<CacheArrayState> l2;
+        CacheArrayState llc;
+        CacheArrayState sf;
+        unsigned privateHitStreak = 0;
+        Cycles clock = 0;
+        std::vector<Cycles> lastSync;
+        std::vector<std::uint8_t> hasStream;
+        std::unordered_map<unsigned, std::vector<std::size_t>>
+            setStreams;
+        std::vector<MachineStream> streams;
+        StreamId nextStreamId = 1;
+        Addr noiseCounter = 0;
+        bool quiescent = false;
+        MachineStats stats;
+        PerfCounters perf;
+    };
+
+    /** Capture the current simulated state. */
+    Snapshot snapshot() const;
+
+    /** Restore a state captured on an identically-configured machine. */
+    void restore(const Snapshot &s);
+
   private:
     /** Owner id used for synthetic other-tenant lines. */
     static constexpr std::uint8_t kNoiseOwner = 0xff;
@@ -274,15 +333,7 @@ class Machine
     /** Tag space for synthetic other-tenant lines. */
     static constexpr Addr kNoiseBase = 1ULL << 62;
 
-    struct Stream
-    {
-        StreamId id = 0;
-        unsigned core = 0;
-        Addr line = 0;
-        bool isStore = false;
-        std::vector<Cycles> times;
-        std::size_t cursor = 0;
-    };
+    using Stream = MachineStream;
 
     struct AccessOutcome
     {

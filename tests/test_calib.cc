@@ -256,18 +256,18 @@ TEST(BlindCampaign, RecoversKeysOnQuietSkylake)
     KeyRecoveryCampaign campaign(spec("campaign-blind-skl-quiet-2"));
     CampaignResult blind = campaign.run(1, 1, 42);
     EXPECT_EQ(blind.summary.keysRecovered, 1u);
-    const SampleStats *calib =
-        blind.experiment.metric("calib_cycles");
+    const StreamingStats *calib =
+        blind.aggregate.metric("calib_cycles");
     ASSERT_NE(calib, nullptr);
     EXPECT_GT(calib->mean(), 0.0);
     // Calibration cost is part of the per-key cycle headline.
-    const SampleStats *total =
-        blind.experiment.metric("total_cycles");
-    const SampleStats *build =
-        blind.experiment.metric("build_cycles");
-    const SampleStats *scan = blind.experiment.metric("scan_cycles");
-    const SampleStats *extract =
-        blind.experiment.metric("extract_cycles");
+    const StreamingStats *total =
+        blind.aggregate.metric("total_cycles");
+    const StreamingStats *build =
+        blind.aggregate.metric("build_cycles");
+    const StreamingStats *scan = blind.aggregate.metric("scan_cycles");
+    const StreamingStats *extract =
+        blind.aggregate.metric("extract_cycles");
     ASSERT_NE(total, nullptr);
     EXPECT_NEAR(total->mean(),
                 build->mean() + scan->mean() + extract->mean() +
@@ -283,7 +283,7 @@ TEST(BlindCampaign, TinySilentFleetMatchesOracleOutcome)
     CampaignResult res = blind.run(2, 1, 42);
     EXPECT_EQ(res.summary.keysRecovered, 2u);
     EXPECT_EQ(res.summary.fleetSuccessRate, 1.0);
-    ASSERT_NE(res.experiment.outcome("topology_match"), nullptr);
+    ASSERT_NE(res.aggregate.outcome("topology_match"), nullptr);
 }
 
 } // namespace

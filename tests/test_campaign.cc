@@ -136,18 +136,17 @@ TEST(CampaignSummaryTest, DerivesFleetMetricsFromExperiment)
 
 TEST(CampaignSummaryTest, EmptyHandedCampaignSerialisesNullCostPerKey)
 {
-    ExperimentConfig cfg;
-    cfg.name = "all-miss";
-    cfg.trials = 2;
-    cfg.threads = 1;
-    ExperimentRunner runner(cfg);
     CampaignResult result;
-    result.experiment =
-        runner.run([](TrialContext &, TrialRecorder &rec) {
-            rec.outcome("key_recovered", false);
-            rec.metric("total_cycles", 500.0);
-        });
-    result.summary = summarizeCampaign(result.experiment);
+    result.name = "all-miss";
+    result.trials = 2;
+    result.masterSeed = 42;
+    for (std::size_t v = 0; v < 2; ++v) {
+        TrialRecorder rec;
+        rec.outcome("key_recovered", false);
+        rec.metric("total_cycles", 500.0);
+        result.aggregate.fold(rec);
+    }
+    result.summary = summarizeCampaign(result.aggregate);
     EXPECT_EQ(result.summary.keysRecovered, 0u);
     EXPECT_TRUE(std::isnan(result.summary.cyclesPerRecoveredKey));
 
@@ -186,18 +185,19 @@ TEST(CampaignRegression, QuietSkylakeFleetRecoversKeys)
     EXPECT_GE(result.summary.fleetSuccessRate, 2.0 / 3.0);
     EXPECT_GT(result.summary.cyclesPerRecoveredKey, 0.0);
 
-    const SampleStats *rf =
-        result.experiment.metric("recovered_fraction");
+    const StreamingStats *rf =
+        result.aggregate.metric("recovered_fraction");
     ASSERT_NE(rf, nullptr);
     ASSERT_FALSE(rf->empty());
     EXPECT_GT(rf->median(), 0.7);
-    const SampleStats *ber = result.experiment.metric("bit_error_rate");
+    const StreamingStats *ber =
+        result.aggregate.metric("bit_error_rate");
     ASSERT_NE(ber, nullptr);
     ASSERT_FALSE(ber->empty());
     EXPECT_LT(ber->median(), 0.2);
 
     // The campaign aggregates the hierarchy counters unconditionally.
-    const SampleStats *pc = result.experiment.metric("pc_accesses");
+    const StreamingStats *pc = result.aggregate.metric("pc_accesses");
     ASSERT_NE(pc, nullptr);
     EXPECT_GT(pc->mean(), 0.0);
 }

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for campaign checkpoint/resume and the fork-from-snapshot
+ * execution path: exact aggregate state round-trips, atomic
+ * checkpoint files, identity validation on resume, byte-identical
+ * JSON from an interrupted-then-resumed campaign at mixed thread
+ * counts, and the all-victims-failed fleet whose accuracy metrics are
+ * legitimately absent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "campaign/campaign.hh"
+#include "campaign/checkpoint.hh"
+#include "scenario/registry.hh"
+
+namespace llcf {
+namespace {
+
+const ScenarioSpec &
+forkSpec()
+{
+    const ScenarioSpec *spec =
+        builtinScenarios().find("campaign-fork-tiny-silent-96");
+    EXPECT_NE(spec, nullptr);
+    return *spec;
+}
+
+std::string
+tmpPath(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+std::string
+benchEntryJson(const CampaignAggregate &agg)
+{
+    JsonWriter w;
+    w.beginObject();
+    agg.writeJsonMembers(w, "x", 42);
+    w.endObject();
+    return w.str();
+}
+
+// ------------------------------------------ aggregate state round-trip
+
+TEST(CampaignAggregateState, RoundTripsThroughJsonExactly)
+{
+    CampaignAggregate original;
+    for (std::size_t v = 0; v < 100; ++v) {
+        TrialRecorder rec;
+        rec.outcome("key_recovered", v % 3 != 0);
+        rec.metric("total_cycles", 1e9 + static_cast<double>(v) * 0.1);
+        rec.metric("bit_error_rate",
+                   static_cast<double>(v % 7) / 100.0);
+        original.fold(rec);
+    }
+
+    JsonWriter w;
+    original.writeState(w);
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(w.str(), doc));
+    CampaignAggregate restored;
+    std::string error;
+    ASSERT_TRUE(CampaignAggregate::fromState(doc, restored, &error))
+        << error;
+
+    // The round trip must preserve the *emitted* bytes, not merely
+    // approximate values: resumed runs serialise from restored state.
+    EXPECT_EQ(benchEntryJson(original), benchEntryJson(restored));
+
+    // ... and continue identically when more trials fold in.
+    TrialRecorder more;
+    more.outcome("key_recovered", true);
+    more.metric("total_cycles", 2e9);
+    CampaignAggregate contOriginal = original;
+    contOriginal.fold(more);
+    restored.fold(more);
+    EXPECT_EQ(benchEntryJson(contOriginal), benchEntryJson(restored));
+}
+
+// ------------------------------------------------- checkpoint files
+
+TEST(CampaignCheckpointFile, WritesAndLoadsFullSeedRange)
+{
+    CampaignCheckpoint cp;
+    cp.campaign = "campaign-fork-tiny-silent-96";
+    // A seed above 2^53: doubles cannot carry it, the string
+    // serialisation must.
+    cp.masterSeed = 0xDEADBEEFCAFEF00Dull;
+    cp.fleet = 100000;
+    cp.shardTrials = kCampaignShardTrials;
+    cp.nextTrial = 4096;
+    TrialRecorder rec;
+    rec.outcome("key_recovered", true);
+    rec.metric("total_cycles", 12345.5);
+    cp.aggregate.fold(rec);
+
+    const std::string path = tmpPath("cp_roundtrip.json");
+    std::string error;
+    ASSERT_TRUE(writeCampaignCheckpoint(path, cp, &error)) << error;
+
+    CampaignCheckpoint loaded;
+    ASSERT_TRUE(loadCampaignCheckpoint(path, loaded, &error)) << error;
+    EXPECT_EQ(loaded.campaign, cp.campaign);
+    EXPECT_EQ(loaded.masterSeed, cp.masterSeed);
+    EXPECT_EQ(loaded.fleet, cp.fleet);
+    EXPECT_EQ(loaded.shardTrials, cp.shardTrials);
+    EXPECT_EQ(loaded.nextTrial, cp.nextTrial);
+    EXPECT_EQ(loaded.aggregate.trials(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignCheckpointFile, LoadRejectsMalformedDocument)
+{
+    const std::string path = tmpPath("cp_bad.json");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"campaign\": \"x\"}", f);
+    std::fclose(f);
+    CampaignCheckpoint out;
+    std::string error;
+    EXPECT_FALSE(loadCampaignCheckpoint(path, out, &error));
+    EXPECT_FALSE(error.empty());
+    std::remove(path.c_str());
+}
+
+// ----------------------------------- interrupt / resume determinism
+
+TEST(CampaignResume, ResumedJsonMatchesUninterruptedAtAnyThreadCount)
+{
+    // 66 victims span two shards (64 + 2), so stopping after the
+    // first shard interrupts mid-campaign.  The resumed run uses a
+    // different thread count than both the interrupted prefix and the
+    // reference runs — the bytes must not care.
+    const ScenarioSpec &spec = forkSpec();
+    const std::string cp = tmpPath("cp_resume.json");
+    std::remove(cp.c_str());
+
+    CampaignRunOptions interrupt;
+    interrupt.fleet = 66;
+    interrupt.threads = 8;
+    interrupt.masterSeed = 7;
+    interrupt.checkpointPath = cp;
+    interrupt.stopAfterShards = 1;
+    CampaignResult partial = KeyRecoveryCampaign(spec).run(interrupt);
+    EXPECT_TRUE(partial.interrupted);
+    EXPECT_EQ(partial.aggregate.trials(), kCampaignShardTrials);
+
+    CampaignRunOptions resume;
+    resume.fleet = 66;
+    resume.threads = 1;
+    resume.masterSeed = 7;
+    resume.checkpointPath = cp;
+    resume.resume = true;
+    CampaignResult resumed = KeyRecoveryCampaign(spec).run(resume);
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_EQ(resumed.aggregate.trials(), 66u);
+
+    CampaignSuite resumedSuite("e2e"), oneSuite("e2e"),
+        eightSuite("e2e");
+    resumedSuite.add(std::move(resumed));
+    oneSuite.add(KeyRecoveryCampaign(spec).run(66, 1, 7));
+    eightSuite.add(KeyRecoveryCampaign(spec).run(66, 8, 7));
+    EXPECT_EQ(resumedSuite.toJson(), oneSuite.toJson());
+    EXPECT_EQ(resumedSuite.toJson(), eightSuite.toJson());
+    std::remove(cp.c_str());
+}
+
+TEST(CampaignResume, RejectsCheckpointOfDifferentRun)
+{
+    const ScenarioSpec &spec = forkSpec();
+    const std::string cp = tmpPath("cp_mismatch.json");
+    std::remove(cp.c_str());
+
+    CampaignRunOptions first;
+    first.fleet = 66;
+    first.threads = 2;
+    first.masterSeed = 7;
+    first.checkpointPath = cp;
+    first.stopAfterShards = 1;
+    ASSERT_TRUE(KeyRecoveryCampaign(spec).run(first).interrupted);
+
+    CampaignRunOptions wrongSeed = first;
+    wrongSeed.stopAfterShards = 0;
+    wrongSeed.resume = true;
+    wrongSeed.masterSeed = 8;
+    EXPECT_DEATH(KeyRecoveryCampaign(spec).run(wrongSeed),
+                 "different run");
+    std::remove(cp.c_str());
+}
+
+// ------------------------------------------- fork-path constraints
+
+TEST(CampaignFork, RejectsNonUniformFleets)
+{
+    ScenarioSpec spec = forkSpec();
+    spec.fleetLineIndexStep = 13;
+    EXPECT_DEATH(KeyRecoveryCampaign{spec}, "uniform fleet");
+    spec.fleetLineIndexStep = 0;
+    spec.fleetNoises = {"silent", "quiescent-local"};
+    EXPECT_DEATH(KeyRecoveryCampaign{spec}, "uniform fleet");
+}
+
+// --------------------------- all-victims-failed fleets (absent metrics)
+
+TEST(CampaignBlindFailure, AbsentAccuracyMetricsStayAbsent)
+{
+    // A blind fork campaign whose Step-0 budget is hopeless: warmup
+    // calibration fails, so *no* victim is ever attacked and the
+    // accuracy metrics legitimately never exist.  The summary and the
+    // JSON must represent that explicitly instead of inventing zeros.
+    ScenarioSpec spec = forkSpec();
+    spec.name = "campaign-fork-blind-doomed";
+    spec.blindTopology = true;
+    spec.calibBudgetMs = 0.001; // ~2000 cycles: cannot measure anything
+    spec.assumedMaxUncertainty = 16;
+    spec.assumedMaxWays = 8;
+    spec.calibSamplePages = 96;
+
+    CampaignResult res = KeyRecoveryCampaign(spec).run(3, 1, 42);
+    EXPECT_EQ(res.aggregate.trials(), 3u);
+    EXPECT_EQ(res.summary.keysRecovered, 0u);
+    EXPECT_DOUBLE_EQ(res.summary.fleetSuccessRate, 0.0);
+    EXPECT_EQ(res.aggregate.metric("recovered_fraction"), nullptr);
+    EXPECT_EQ(res.aggregate.metric("bit_error_rate"), nullptr);
+    // The one-time (wasted) warmup cost is still charged.
+    const StreamingStats *warm = res.aggregate.metric("warmup_cycles");
+    ASSERT_NE(warm, nullptr);
+    EXPECT_EQ(warm->count(), 1u);
+    EXPECT_DOUBLE_EQ(res.summary.totalAttackCycles, warm->sum());
+
+    JsonWriter w;
+    res.writeJson(w);
+    const std::string doc = w.str();
+    EXPECT_EQ(doc.find("recovered_fraction"), std::string::npos);
+    EXPECT_EQ(doc.find("nan"), std::string::npos);
+    EXPECT_NE(doc.find("\"cycles_per_recovered_key\": null"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace llcf
