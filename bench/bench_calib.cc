@@ -56,7 +56,8 @@ calibSpecs(const ScenarioRegistry &reg, bool scenario_given,
     std::vector<const ScenarioSpec *> specs;
     if (!scenario_given) {
         for (const ScenarioSpec &s : reg.all()) {
-            if (s.stage == ScenarioStage::Calibrate)
+            if (s.stage == ScenarioStage::Calibrate &&
+                !s.defense.recordsMetrics()) // bench_defense's domain
                 specs.push_back(&s);
         }
         return specs;

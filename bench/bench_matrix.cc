@@ -70,13 +70,16 @@ benchMain(bool list, bool smoke, bool scenario_given,
     std::vector<const ScenarioSpec *> specs;
     if (!scenario_given) {
         // The default matrix stops at the single-victim attack
-        // stages: victim-fleet campaigns are bench_e2e's domain and
-        // Step-0 calibration is bench_calib's (both for cost and for
-        // their own baseline gates).  Both stay addressable here via
-        // --scenario=campaign-* / --scenario=calib-*.
+        // stages: victim-fleet campaigns are bench_e2e's domain,
+        // Step-0 calibration is bench_calib's, and the defense axis
+        // is bench_defense's (each for cost and for their own
+        // baseline gates).  All stay addressable here via
+        // --scenario=campaign-* / --scenario=calib-* /
+        // --scenario=defense-*.
         for (const ScenarioSpec &s : reg.all()) {
             if (s.stage != ScenarioStage::Campaign &&
-                s.stage != ScenarioStage::Calibrate)
+                s.stage != ScenarioStage::Calibrate &&
+                !s.defense.recordsMetrics())
                 specs.push_back(&s);
         }
     } else if (!selection.empty()) {

@@ -286,6 +286,50 @@ class CacheArray
         });
     }
 
+    /**
+     * fill() restricted to the set bits of @p allowed — the CAT-style
+     * partitioned fill: the new line lands in an invalid allowed way
+     * if one exists, otherwise in the policy's masked victim, so lines
+     * outside the mask are never displaced.  The set-wide valid count
+     * can sit below ways while every *allowed* way is full, so the
+     * invalid-way scan is mask-restricted rather than count-gated.
+     * @pre allowed selects at least one way below ways (checked).
+     */
+    FillResult
+    fillMasked(unsigned set, const CacheLine &new_line, Rng &rng,
+               std::uint64_t allowed)
+    {
+        std::uint8_t *meta = metaOf(set);
+        ++counters_.fills;
+        return withReplOps(kind_, [&](auto ops) {
+            std::uint8_t *st = replStateIn(meta);
+            FillResult res;
+            for (unsigned w = 0; w < geom_.ways; ++w) {
+                if (!(allowed >> w & 1))
+                    continue;
+                if (static_cast<CohState>(meta[w]) == CohState::Invalid) {
+                    writeLine(set, w, new_line);
+                    ++meta[validOffset_];
+                    res.way = w;
+                    ops.onFill(st, geom_.ways, w);
+                    return res;
+                }
+            }
+
+            const unsigned vic =
+                ops.victimMasked(st, geom_.ways, allowed, rng);
+            if (vic >= geom_.ways || !(allowed >> vic & 1))
+                panic("fillMasked: victim %u outside allowed mask", vic);
+            ops.onFill(st, geom_.ways, vic);
+            res.way = vic;
+            res.evicted = true;
+            res.victim = line(set, vic);
+            ++counters_.evictions;
+            writeLine(set, vic, new_line);
+            return res;
+        });
+    }
+
     /** Invalidate a specific way. */
     void
     invalidateWay(unsigned set, unsigned way)

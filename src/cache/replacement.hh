@@ -25,6 +25,7 @@
 #ifndef LLCF_CACHE_REPLACEMENT_HH
 #define LLCF_CACHE_REPLACEMENT_HH
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -60,6 +61,12 @@ inline constexpr ReplKind kAllReplKinds[] = {
 //   onHit(st, ways, way)      update on a hit
 //   onFill(st, ways, way)     update when a new line fills @p way
 //   victim(st, ways, rng)     choose the victim (all ways valid)
+//
+// plus victimMasked(st, ways, allowed, rng): the victim restricted to
+// the set bits of an allowed-way mask — the hook CAT-style way
+// partitioning uses so one domain's fills can never evict another
+// domain's ways.  Preconditions: every allowed way is valid and the
+// mask selects at least one way below `ways`.
 
 /** True LRU via per-way age counters (0 = MRU). */
 struct LruOps
@@ -117,6 +124,28 @@ struct LruOps
     {
         const unsigned vic = victim(st, ways, rng);
         onFill(st, ways, vic);
+        return vic;
+    }
+
+    /**
+     * Oldest way within @p allowed, with the same >=-tie-break toward
+     * the highest way as victim().
+     */
+    static unsigned
+    victimMasked(std::uint8_t *st, unsigned ways, std::uint64_t allowed,
+                 Rng &rng)
+    {
+        (void)rng;
+        unsigned vic = 0;
+        int oldest = -1;
+        for (unsigned w = 0; w < ways; ++w) {
+            if (!(allowed >> w & 1))
+                continue;
+            if (static_cast<int>(st[w]) >= oldest) {
+                oldest = st[w];
+                vic = w;
+            }
+        }
         return vic;
     }
 };
@@ -234,6 +263,50 @@ struct TreePlruOps
         return lo;
     }
 
+    /**
+     * Victim constrained to @p allowed: the descent follows each
+     * node's pointer unless the pointed-to subtree contains no
+     * allowed way, in which case it takes the other side.  Every
+     * entered subtree contains an allowed way, so the final leaf is
+     * always allowed (including the non-power-of-two tail, whose
+     * phantom leaves never carry allowed bits).
+     */
+    static unsigned
+    victimMasked(std::uint8_t *st, unsigned ways, std::uint64_t allowed,
+                 Rng &rng)
+    {
+        (void)rng;
+        const unsigned n = leaves(ways);
+        const auto range_allowed = [&](unsigned lo, unsigned hi) {
+            if (lo >= ways)
+                return std::uint64_t{0};
+            if (hi > ways)
+                hi = ways;
+            const std::uint64_t span =
+                hi - lo >= 64 ? ~std::uint64_t{0}
+                              : (std::uint64_t{1} << (hi - lo)) - 1;
+            return allowed & (span << lo);
+        };
+        unsigned node = 1;
+        unsigned lo = 0, hi = n;
+        while (node < n) {
+            const unsigned mid = (lo + hi) / 2;
+            bool right = st[node] != 0;
+            if (right && range_allowed(mid, hi) == 0)
+                right = false;
+            else if (!right && range_allowed(lo, mid) == 0)
+                right = true;
+            if (right) {
+                node = node * 2 + 1;
+                lo = mid;
+            } else {
+                node = node * 2;
+                hi = mid;
+            }
+        }
+        return lo;
+    }
+
   private:
     static bool
     isPow2(unsigned v)
@@ -298,6 +371,26 @@ struct SrripOps
         return vic;
     }
 
+    /**
+     * First allowed way at max RRPV, aging only the allowed ways so
+     * the other partition's re-reference state is untouched.
+     */
+    static unsigned
+    victimMasked(std::uint8_t *st, unsigned ways, std::uint64_t allowed,
+                 Rng &rng)
+    {
+        (void)rng;
+        for (;;) {
+            for (unsigned w = 0; w < ways; ++w) {
+                if ((allowed >> w & 1) && st[w] >= kMaxRrpv)
+                    return w;
+            }
+            for (unsigned w = 0; w < ways; ++w) {
+                if (allowed >> w & 1)
+                    ++st[w];
+            }
+        }
+    }
 };
 
 /** Uniform random victim selection (no per-set state). */
@@ -349,6 +442,26 @@ struct RandomOps
         return victim(st, ways, rng);
     }
 
+    /** Uniform choice among the allowed ways. */
+    static unsigned
+    victimMasked(std::uint8_t *st, unsigned ways, std::uint64_t allowed,
+                 Rng &rng)
+    {
+        (void)st;
+        const std::uint64_t in_range =
+            ways >= 64 ? allowed
+                       : allowed & ((std::uint64_t{1} << ways) - 1);
+        auto k = rng.nextBelow(
+            static_cast<std::uint64_t>(std::popcount(in_range)));
+        for (unsigned w = 0; w < ways; ++w) {
+            if (!(allowed >> w & 1))
+                continue;
+            if (k == 0)
+                return w;
+            --k;
+        }
+        return ways - 1;
+    }
 };
 
 /**
@@ -408,6 +521,14 @@ class ReplPolicy
     virtual unsigned victim(std::uint8_t *st, unsigned ways, Rng &rng)
         const = 0;
 
+    /**
+     * Victim restricted to the set bits of @p allowed (partitioned
+     * fills).  @pre the mask selects at least one way below @p ways.
+     */
+    virtual unsigned victimMasked(std::uint8_t *st, unsigned ways,
+                                  std::uint64_t allowed,
+                                  Rng &rng) const = 0;
+
     /** Policy kind tag. */
     virtual ReplKind kind() const = 0;
 };
@@ -445,6 +566,13 @@ class ReplPolicyFor : public ReplPolicy
     victim(std::uint8_t *st, unsigned ways, Rng &rng) const override
     {
         return Ops::victim(st, ways, rng);
+    }
+
+    unsigned
+    victimMasked(std::uint8_t *st, unsigned ways, std::uint64_t allowed,
+                 Rng &rng) const override
+    {
+        return Ops::victimMasked(st, ways, allowed, rng);
     }
 
     ReplKind

@@ -300,6 +300,7 @@ runCampaignVictimTrial(const ScenarioSpec &spec, TrialContext &ctx,
     vcfg.targetLineIndex = fleetLineIndexFor(spec, ctx.index);
     vcfg.requestQuota = spec.victimRequestQuota;
     VictimService victim(rig.machine, vcfg);
+    maybeArmScenarioWatchdog(rig.machine, victim);
 
     // The classifier trains offline on an attacker-side replica of
     // the victim binary (same layout, its own key, no quota), as in
@@ -323,6 +324,8 @@ runCampaignVictimTrial(const ScenarioSpec &spec, TrialContext &ctx,
     E2EResult res = attack.run(*rig.pool);
 
     recordVictimResult(spec, rec, res, res.totalTime() + calibCycles);
+    if (spec.defense.recordsMetrics())
+        recordDefenseMetrics(rec, rig.machine, nullptr);
     // Campaigns always aggregate the hierarchy counters: BENCH_e2e
     // is new output, so there is no historical byte content to keep.
     recordPerfCounters(rec, rig.machine.perfCounters());
@@ -400,6 +403,12 @@ KeyRecoveryCampaign::KeyRecoveryCampaign(ScenarioSpec spec)
               "(fleetLineIndexStep == 0, no fleetNoises rotation) — "
               "the one-time scan is only valid when every victim "
               "shares the layout and environment",
+              spec_.name.c_str());
+    if (spec_.forkVictims && spec_.defense.active())
+        fatal("campaign '%s': forkVictims cannot compose with an "
+              "active defense — re-keying or watchdog state would "
+              "invalidate the shared post-scan snapshot; use the "
+              "per-trial (non-fork) campaign path",
               spec_.name.c_str());
 }
 

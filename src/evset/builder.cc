@@ -149,6 +149,13 @@ EvictionSetBuilder::buildForTarget(Addr ta, std::vector<Addr> cands)
     return out;
 }
 
+Cycles
+EvictionSetBuilder::partitionBudget() const
+{
+    const auto &l2 = session_.machine().config().l2;
+    return session_.config().evsetBudget * (4 * l2.uncertainty() + 16);
+}
+
 bool
 EvictionSetBuilder::coveredByExisting(
     Addr ta, const std::vector<BuiltEvictionSet> &sets)
@@ -235,9 +242,13 @@ EvictionSetBuilder::buildAtLineIndex(const CandidatePool &pool,
 
     std::vector<Addr> cands = pool.candidatesAt(line_index);
     if (useFilter_) {
-        // Effectively unbounded partition deadline; per-set budgets
-        // still bound each construction.
-        const Cycles far = m.now() + secToCycles(3600.0);
+        // The partition deadline must stay far above the undefended
+        // cost (so it never trips and changes bytes) but finite: a
+        // defense that starves L2 priming (an SF partition back-
+        // invalidating primed lines) otherwise leaves the pruner
+        // churning inside an hour-scale horizon instead of failing
+        // the build explicitly.
+        const Cycles far = m.now() + partitionBudget();
         auto classes = filter_.partition(std::move(cands), far);
         for (auto &cls : classes)
             buildClass(std::move(cls.members), out);
@@ -267,7 +278,8 @@ EvictionSetBuilder::buildWholeSystem(const CandidatePool &pool,
     if (useFilter_) {
         // Build the L2 classes once at line index 0 and reuse them at
         // every other offset via same-page shifts (Section 5.3.1).
-        const Cycles far = m.now() + secToCycles(3600.0);
+        // Same finite horizon as buildAtLineIndex.
+        const Cycles far = m.now() + partitionBudget();
         auto base_classes = filter_.partition(pool.candidatesAt(0), far);
         for (unsigned li : line_indices) {
             auto classes = CandidateFilter::shiftClasses(base_classes,

@@ -132,6 +132,15 @@ class EvictionSetBuilder
     bool coveredByExisting(Addr ta,
                            const std::vector<BuiltEvictionSet> &sets);
 
+    /**
+     * Virtual-time horizon for the bulk builders' one-off L2 class
+     * partition: generous multiples of the per-set budget per
+     * expected class, far above the undefended cost but finite, so a
+     * defense that starves L2 priming fails the build explicitly
+     * instead of stalling the trial.
+     */
+    Cycles partitionBudget() const;
+
     /** Ground-truth congruence check (experimenter-side). */
     bool validateGroundTruth(const BuiltEvictionSet &evset) const;
 

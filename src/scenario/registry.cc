@@ -304,6 +304,295 @@ makeBuiltins()
         reg.add(s);
     }
 
+    // ---- Defense axis (bench_defense's domain; excluded from
+    // bench_matrix's default set): the attacker pipeline vs host-side
+    // defenses.  Cell names use the "defense-<kind>-..." prefix so the
+    // build-*/scan-*/e2e-* selections stay stage-pure.  Baseline
+    // "none" cells set measure so the def_* series exists as a
+    // same-shaped reference row for overhead comparisons.
+    {
+        ScenarioSpec s = base(
+            "defense-none-tiny-e2e",
+            "Undefended baseline row for the tiny e2e defense matrix",
+            St::EndToEnd, M::TinyTest, 2, R::LRU, "silent", A::BinS);
+        s.defaultTrials = 2;
+        // Defended cells time out instead of completing: a blocked
+        // eviction signal burns the whole scan timeout per training
+        // trace and per scanned set, and a partition burns the whole
+        // per-set construction budget for every set in the scan
+        // group, so the undefended ~ms budgets are trimmed hard
+        // (still >10x headroom over the observed undefended costs)
+        // and training is kept to a dozen traces — the same knobs on
+        // every cell of the matrix, baseline row included, so
+        // overheads stay comparable.
+        s.scanTimeoutSec = 0.1;
+        s.evsetBudgetMs = 1.0;
+        s.trainTargetTraces = 6;
+        s.trainNontargetTraces = 12;
+        s.defense.measure = true;
+        reg.add(s);
+    }
+    {
+        // CEASER with a static key: the keyed index hash alone does
+        // not stop the attack — congruence is scrambled but stable,
+        // so eviction sets still build and still evict.
+        ScenarioSpec s = base(
+            "defense-rekey-off-tiny-e2e",
+            "Static-key CEASER: keyed index hash, never re-keyed",
+            St::EndToEnd, M::TinyTest, 2, R::LRU, "silent", A::BinS);
+        s.defaultTrials = 2;
+        // Defended cells time out instead of completing: a blocked
+        // eviction signal burns the whole scan timeout per training
+        // trace and per scanned set, and a partition burns the whole
+        // per-set construction budget for every set in the scan
+        // group, so the undefended ~ms budgets are trimmed hard
+        // (still >10x headroom over the observed undefended costs)
+        // and training is kept to a dozen traces — the same knobs on
+        // every cell of the matrix, baseline row included, so
+        // overheads stay comparable.
+        s.scanTimeoutSec = 0.1;
+        s.evsetBudgetMs = 1.0;
+        s.trainTargetTraces = 6;
+        s.trainNontargetTraces = 12;
+        s.defense.kind = DefenseKind::KeyedRekey;
+        s.defense.rekeyIntervalMs = 0.0;
+        reg.add(s);
+    }
+    {
+        ScenarioSpec s = base(
+            "defense-rekey-slow-tiny-e2e",
+            "Keyed index hash re-keyed every 500 us of virtual time",
+            St::EndToEnd, M::TinyTest, 2, R::LRU, "silent", A::BinS);
+        s.defaultTrials = 2;
+        // Defended cells time out instead of completing: a blocked
+        // eviction signal burns the whole scan timeout per training
+        // trace and per scanned set, and a partition burns the whole
+        // per-set construction budget for every set in the scan
+        // group, so the undefended ~ms budgets are trimmed hard
+        // (still >10x headroom over the observed undefended costs)
+        // and training is kept to a dozen traces — the same knobs on
+        // every cell of the matrix, baseline row included, so
+        // overheads stay comparable.
+        s.scanTimeoutSec = 0.1;
+        s.evsetBudgetMs = 1.0;
+        s.trainTargetTraces = 6;
+        s.trainNontargetTraces = 12;
+        s.defense.kind = DefenseKind::KeyedRekey;
+        s.defense.rekeyIntervalMs = 0.5;
+        reg.add(s);
+    }
+    {
+        ScenarioSpec s = base(
+            "defense-rekey-fast-tiny-e2e",
+            "Keyed index hash re-keyed every 50 us of virtual time",
+            St::EndToEnd, M::TinyTest, 2, R::LRU, "silent", A::BinS);
+        s.defaultTrials = 2;
+        // Defended cells time out instead of completing: a blocked
+        // eviction signal burns the whole scan timeout per training
+        // trace and per scanned set, and a partition burns the whole
+        // per-set construction budget for every set in the scan
+        // group, so the undefended ~ms budgets are trimmed hard
+        // (still >10x headroom over the observed undefended costs)
+        // and training is kept to a dozen traces — the same knobs on
+        // every cell of the matrix, baseline row included, so
+        // overheads stay comparable.
+        s.scanTimeoutSec = 0.1;
+        s.evsetBudgetMs = 1.0;
+        s.trainTargetTraces = 6;
+        s.trainNontargetTraces = 12;
+        s.defense.kind = DefenseKind::KeyedRekey;
+        s.defense.rekeyIntervalMs = 0.05;
+        reg.add(s);
+    }
+    {
+        // CAT on the LLC only: on the 4-way tiny host, walling off
+        // half the LLC ways starves eviction-set construction
+        // outright — every per-set build burns its whole (trimmed)
+        // budget and the attack dies at the build stage.
+        ScenarioSpec s = base(
+            "defense-waypart-tiny-e2e",
+            "CAT-style LLC way partition reserving the victim's ways",
+            St::EndToEnd, M::TinyTest, 2, R::LRU, "silent", A::BinS);
+        s.defaultTrials = 2;
+        // Defended cells time out instead of completing: a blocked
+        // eviction signal burns the whole scan timeout per training
+        // trace and per scanned set, and a partition burns the whole
+        // per-set construction budget for every set in the scan
+        // group, so the undefended ~ms budgets are trimmed hard
+        // (still >10x headroom over the observed undefended costs)
+        // and training is kept to a dozen traces — the same knobs on
+        // every cell of the matrix, baseline row included, so
+        // overheads stay comparable.
+        s.scanTimeoutSec = 0.1;
+        s.evsetBudgetMs = 1.0;
+        s.trainTargetTraces = 6;
+        s.trainNontargetTraces = 12;
+        s.defense.kind = DefenseKind::WayPart;
+        s.defense.protectedWays = 2;
+        reg.add(s);
+    }
+    {
+        ScenarioSpec s = base(
+            "defense-sfpart-tiny-e2e",
+            "SF way partition: attacker fills can't evict victim SF "
+            "entries",
+            St::EndToEnd, M::TinyTest, 2, R::LRU, "silent", A::BinS);
+        s.defaultTrials = 2;
+        // Defended cells time out instead of completing: a blocked
+        // eviction signal burns the whole scan timeout per training
+        // trace and per scanned set, and a partition burns the whole
+        // per-set construction budget for every set in the scan
+        // group, so the undefended ~ms budgets are trimmed hard
+        // (still >10x headroom over the observed undefended costs)
+        // and training is kept to a dozen traces — the same knobs on
+        // every cell of the matrix, baseline row included, so
+        // overheads stay comparable.
+        s.scanTimeoutSec = 0.1;
+        s.evsetBudgetMs = 1.0;
+        s.trainTargetTraces = 6;
+        s.trainNontargetTraces = 12;
+        s.defense.kind = DefenseKind::SfPart;
+        s.defense.protectedWays = 2;
+        reg.add(s);
+    }
+    {
+        ScenarioSpec s = base(
+            "defense-watchdog-tiny-e2e",
+            "Self-eviction watchdog triggering re-keys when probed "
+            "misses spike",
+            St::EndToEnd, M::TinyTest, 2, R::LRU, "silent", A::BinS);
+        s.defaultTrials = 2;
+        // Defended cells time out instead of completing: a blocked
+        // eviction signal burns the whole scan timeout per training
+        // trace and per scanned set, and a partition burns the whole
+        // per-set construction budget for every set in the scan
+        // group, so the undefended ~ms budgets are trimmed hard
+        // (still >10x headroom over the observed undefended costs)
+        // and training is kept to a dozen traces — the same knobs on
+        // every cell of the matrix, baseline row included, so
+        // overheads stay comparable.
+        s.scanTimeoutSec = 0.1;
+        s.evsetBudgetMs = 1.0;
+        s.trainTargetTraces = 6;
+        s.trainNontargetTraces = 12;
+        s.defense.kind = DefenseKind::Watchdog;
+        reg.add(s);
+    }
+    {
+        ScenarioSpec s = base(
+            "defense-waypart-tiny-scan",
+            "PSD scan vs an LLC way partition on the tiny host",
+            St::Scan, M::TinyTest, 2, R::LRU, "silent", A::BinS);
+        s.defaultTrials = 3;
+        s.scanTimeoutSec = 0.1; // see the e2e cells above
+        s.evsetBudgetMs = 1.0;
+        s.trainTargetTraces = 6;
+        s.trainNontargetTraces = 12;
+        s.defense.kind = DefenseKind::WayPart;
+        s.defense.protectedWays = 2;
+        reg.add(s);
+    }
+    {
+        // The kill cell: the re-key interval sits inside a single
+        // eviction-set construction window, so cross-page congruence
+        // dissolves mid-build and success collapses below 10%
+        // (bench_defense hard-gates that ceiling).
+        ScenarioSpec s = base(
+            "defense-rekey-fast-tiny-build",
+            "Kill cell: re-keying inside the build window starves "
+            "eviction-set construction",
+            St::EvsetBuild, M::TinyTest, 2, R::LRU, "silent", A::BinS);
+        s.defaultTrials = 6;
+        // Construction needs ~75 us of stable congruence and a 100 ms
+        // budget lets it retry through occasional re-keys; a 10 us
+        // interval leaves no window wide enough, so the trimmed 10 ms
+        // budget is spent failing (bench_defense gates succ < 10%).
+        s.evsetBudgetMs = 10.0;
+        s.defense.kind = DefenseKind::KeyedRekey;
+        s.defense.rekeyIntervalMs = 0.01;
+        reg.add(s);
+    }
+    {
+        // Control for the kill cell: same machine and algorithm, but
+        // the interval spans many build windows, so construction
+        // survives — together the two cells bracket the re-key
+        // interval at which the attack dies.
+        ScenarioSpec s = base(
+            "defense-rekey-slow-tiny-build",
+            "Control: re-keying slower than the build window leaves "
+            "construction alive",
+            St::EvsetBuild, M::TinyTest, 2, R::LRU, "silent", A::BinS);
+        s.defaultTrials = 6;
+        s.defense.kind = DefenseKind::KeyedRekey;
+        s.defense.rekeyIntervalMs = 0.5;
+        reg.add(s);
+    }
+    {
+        ScenarioSpec s = base(
+            "defense-rekey-skl-build",
+            "Fast re-keying vs eviction-set construction on "
+            "Skylake-SP",
+            St::EvsetBuild, M::SkylakeSp, 2, R::LRU, "local", A::BinS);
+        s.defaultTrials = 3;
+        s.defense.kind = DefenseKind::KeyedRekey;
+        s.defense.rekeyIntervalMs = 0.05;
+        reg.add(s);
+    }
+    {
+        // Partitioning protects victim residency, not the mapping:
+        // eviction sets still build fine inside the attacker's own
+        // partition — the cell documents that non-result.
+        ScenarioSpec s = base(
+            "defense-sfpart-icx-build",
+            "SF partition does not stop eviction-set construction "
+            "(Ice Lake)",
+            St::EvsetBuild, M::IceLakeSp, 2, R::LRU, "local", A::BinS);
+        s.defaultTrials = 3;
+        s.defense.kind = DefenseKind::SfPart;
+        s.defense.protectedWays = 2;
+        reg.add(s);
+    }
+    {
+        // Step 0 under a static keyed hash: blind calibration measures
+        // geometry through the randomized mapping.
+        ScenarioSpec s = calibBase(
+            "defense-rekey-off-tiny-calib",
+            "Blind calibration through a static keyed index hash",
+            M::TinyTest, 2, R::LRU, "silent");
+        s.defaultTrials = 3;
+        s.assumedMaxUncertainty = 16;
+        s.assumedMaxWays = 8;
+        s.calibSamplePages = 96;
+        s.defense.kind = DefenseKind::KeyedRekey;
+        s.defense.rekeyIntervalMs = 0.0;
+        reg.add(s);
+    }
+    {
+        ScenarioSpec s = calibBase(
+            "defense-rekey-fast-tiny-calib",
+            "Blind calibration degrades under fast re-keying",
+            M::TinyTest, 2, R::LRU, "silent");
+        s.defaultTrials = 3;
+        s.assumedMaxUncertainty = 16;
+        s.assumedMaxWays = 8;
+        s.calibSamplePages = 96;
+        s.defense.kind = DefenseKind::KeyedRekey;
+        s.defense.rekeyIntervalMs = 0.05;
+        reg.add(s);
+    }
+    {
+        ScenarioSpec s = campaignBase(
+            "defense-rekey-tiny-campaign-2",
+            "2-victim fleet attacked through periodic re-keying",
+            M::TinyTest, 2, R::LRU, "silent", 2);
+        s.scanTimeoutSec = 0.3;
+        s.defense.kind = DefenseKind::KeyedRekey;
+        // Mild interval: several re-keys per victim attack, yet most
+        // training traces stay inside one key epoch.
+        s.defense.rekeyIntervalMs = 2.0;
+        reg.add(s);
+    }
+
     // ---- Blind campaigns: Step 0 feeds Steps 1-3 with calibrated
     // topology; calibration cycles count toward cycles-per-key.
     {

@@ -28,6 +28,38 @@ maybeRecordCounters(const ScenarioRig &rig, TrialRecorder &rec)
         recordPerfCounters(rec, rig.machine.perfCounters());
 }
 
+/** The victim lines a defense watches: target + decoys. */
+std::vector<Addr>
+victimWorkingSet(const VictimService &victim)
+{
+    std::vector<Addr> lines;
+    lines.reserve(1 + victim.decoyPas().size());
+    lines.push_back(victim.targetLinePa());
+    lines.insert(lines.end(), victim.decoyPas().begin(),
+                 victim.decoyPas().end());
+    return lines;
+}
+
+/**
+ * Defense hook shared by the trial bodies: record the "def_*" series
+ * iff the spec asks for them (active defense, or an undefended
+ * baseline cell with measure set).  Gated here so the existing cells'
+ * serialized records stay byte-identical.
+ */
+void
+maybeRecordDefense(const ScenarioSpec &spec, const ScenarioRig &rig,
+                   TrialRecorder &rec, const VictimService *victim)
+{
+    if (!spec.defense.recordsMetrics())
+        return;
+    if (victim) {
+        const std::vector<Addr> ws = victimWorkingSet(*victim);
+        recordDefenseMetrics(rec, rig.machine, &ws);
+    } else {
+        recordDefenseMetrics(rec, rig.machine, nullptr);
+    }
+}
+
 /**
  * Step 0 for blind single-victim stages: calibrate, record, adopt.
  * Returns false when calibration failed and the attack stages cannot
@@ -61,6 +93,7 @@ runEvsetBuildTrial(const ScenarioSpec &spec, TrialContext &ctx,
         rec.outcome("success", false);
         rec.metric("build_cycles", 0.0);
         rec.metric("attempts", 0.0);
+        maybeRecordDefense(spec, rig, rec, nullptr);
         maybeRecordCounters(rig, rec);
         return;
     }
@@ -75,6 +108,7 @@ runEvsetBuildTrial(const ScenarioSpec &spec, TrialContext &ctx,
     rec.outcome("success", out.success && out.groundTruthValid);
     rec.metric("build_cycles", static_cast<double>(out.elapsed));
     rec.metric("attempts", static_cast<double>(out.attempts));
+    maybeRecordDefense(spec, rig, rec, nullptr);
     maybeRecordCounters(rig, rec);
 }
 
@@ -91,6 +125,7 @@ runScanTrial(const ScenarioSpec &spec, TrialContext &ctx,
         rec.metric("build_cycles", 0.0);
         rec.metric("scan_cycles", 0.0);
         rec.metric("sets_scanned", 0.0);
+        maybeRecordDefense(spec, rig, rec, nullptr);
         maybeRecordCounters(rig, rec);
         return;
     }
@@ -98,6 +133,7 @@ runScanTrial(const ScenarioSpec &spec, TrialContext &ctx,
     VictimConfig vcfg;
     vcfg.seed = rig.victimSeed();
     VictimService victim(m, vcfg);
+    maybeArmScenarioWatchdog(m, victim);
     TraceClassifier classifier = trainScenarioClassifier(spec, rig,
                                                          victim);
 
@@ -107,8 +143,10 @@ runScanTrial(const ScenarioSpec &spec, TrialContext &ctx,
                                          victim.targetLineIndex());
     rec.metric("build_cycles", static_cast<double>(m.now() - t0));
     rec.outcome("evsets_built", !bulk.evsets.empty());
-    if (bulk.evsets.empty())
+    if (bulk.evsets.empty()) {
+        maybeRecordDefense(spec, rig, rec, &victim);
         return;
+    }
 
     // Keep the victim serving requests across the scan window.
     victim.serveRequests(m.now(), 8);
@@ -123,6 +161,7 @@ runScanTrial(const ScenarioSpec &spec, TrialContext &ctx,
                 res.found &&
                     m.sharedSetOf(bulk.evsets[res.evsetIndex].target) ==
                         m.sharedSetOf(victim.targetLinePa()));
+    maybeRecordDefense(spec, rig, rec, &victim);
     maybeRecordCounters(rig, rec);
 }
 
@@ -140,12 +179,14 @@ runEndToEndTrial(const ScenarioSpec &spec, TrialContext &ctx,
         rec.metric("scan_cycles", 0.0);
         rec.metric("extract_cycles", 0.0);
         rec.metric("total_cycles", static_cast<double>(calibCycles));
+        maybeRecordDefense(spec, rig, rec, nullptr);
         maybeRecordCounters(rig, rec);
         return;
     }
     VictimConfig vcfg;
     vcfg.seed = rig.victimSeed();
     VictimService victim(rig.machine, vcfg);
+    maybeArmScenarioWatchdog(rig.machine, victim);
     TraceClassifier classifier = trainScenarioClassifier(spec, rig,
                                                          victim);
     NonceExtractor extractor; // rule-based boundary detection
@@ -172,6 +213,7 @@ runEndToEndTrial(const ScenarioSpec &spec, TrialContext &ctx,
         rec.metric("recovered_fraction", v);
     for (double v : res.bitErrorRate.samples())
         rec.metric("bit_error_rate", v);
+    maybeRecordDefense(spec, rig, rec, &victim);
     maybeRecordCounters(rig, rec);
 }
 
@@ -183,6 +225,7 @@ runCalibrateTrial(const ScenarioSpec &spec, TrialContext &ctx,
     CalibratedTopology calib = runScenarioCalibration(spec, rig);
     recordCalibration(rec, calib,
                       compareToOracle(calib, rig.machine.config()));
+    maybeRecordDefense(spec, rig, rec, nullptr);
     maybeRecordCounters(rig, rec);
 }
 
@@ -253,7 +296,12 @@ ScenarioSpec::machineConfig() const
         cfg = tinyTest(slices);
         break;
     }
-    return cfg.withSharedRepl(sharedRepl);
+    cfg.withSharedRepl(sharedRepl);
+    // The defense axis composes with every machine/policy/stage cell;
+    // an inactive spec leaves cfg.defense all-off (no re-check cost).
+    defense.applyTo(cfg);
+    cfg.check();
+    return cfg;
 }
 
 NoiseProfile
@@ -386,6 +434,48 @@ recordPerfCounters(TrialRecorder &rec, const PerfCounters &pc)
                    static_cast<double>(pc.simCycles) /
                        static_cast<double>(pc.accesses));
     }
+}
+
+void
+recordDefenseMetrics(TrialRecorder &rec, const Machine &machine,
+                     const std::vector<Addr> *working_set)
+{
+    const DefenseStats ds = machine.defenseStats();
+    rec.metric("def_rekeys", static_cast<double>(ds.rekeys));
+    rec.metric("def_rekey_lines",
+               static_cast<double>(ds.rekeyLinesMoved));
+    rec.metric("def_wd_probes", static_cast<double>(ds.wdProbes));
+    rec.metric("def_wd_misses", static_cast<double>(ds.wdMisses));
+    rec.metric("def_wd_fires", static_cast<double>(ds.wdFires));
+    rec.metric("def_wd_selfmiss_rate",
+               ds.wdProbes ? static_cast<double>(ds.wdMisses) /
+                                 static_cast<double>(ds.wdProbes)
+                           : 0.0);
+    if (!working_set || working_set->empty())
+        return;
+    // Residency of the victim's working set at trial end: ground-truth
+    // introspection only, so recording perturbs nothing.  Re-key line
+    // movement and partition pressure show up here as lost residency —
+    // the victim-side overhead the defense matrix reports.
+    const unsigned core = machine.config().defense.partition.protectedCore;
+    std::size_t resident = 0;
+    for (Addr pa : *working_set) {
+        if (machine.inL1(core, pa) || machine.inL2(core, pa) ||
+            machine.inLlc(pa) || machine.inSf(pa))
+            ++resident;
+    }
+    rec.metric("def_victim_resident",
+               static_cast<double>(resident) /
+                   static_cast<double>(working_set->size()));
+}
+
+void
+maybeArmScenarioWatchdog(Machine &machine, const VictimService &victim)
+{
+    if (!machine.config().defense.watchdog.enabled)
+        return;
+    machine.armWatchdog(victim.config().core,
+                        victimWorkingSet(victim));
 }
 
 ExperimentResult

@@ -26,6 +26,7 @@
 
 #include "attack/scanner.hh"
 #include "calib/prober.hh"
+#include "defense/defense.hh"
 #include "evset/builder.hh"
 #include "harness/experiment.hh"
 #include "noise/profile.hh"
@@ -70,6 +71,10 @@ struct ScenarioSpec
     PruneAlgo algo = PruneAlgo::BinS;     //!< Step-1 pruning algorithm
     bool useFilter = true; //!< L2-driven candidate filtering
     ScenarioStage stage = ScenarioStage::EvsetBuild; //!< pipeline depth
+
+    /** Host-side defense deployed against the attacker (the defense
+     *  axis; see src/defense/).  Default = undefended host. */
+    DefenseSpec defense;
 
     // --------------------------------------------- attacker knobs
     double evsetBudgetMs = 100.0; //!< per-set construction budget
@@ -260,6 +265,29 @@ void recordCalibration(TrialRecorder &rec,
  * countersEnabled()); bench_hotpath records them unconditionally.
  */
 void recordPerfCounters(TrialRecorder &rec, const PerfCounters &pc);
+
+/**
+ * Record one trial's defense event totals under the canonical
+ * "def_*" metric names (re-keys, lines remapped, watchdog
+ * probe/miss/fire counts plus the windowed self-miss rate), and —
+ * when @p working_set is non-null — the fraction of those victim
+ * lines still cached anywhere ("def_victim_resident": the residency
+ * cost re-keying and partition pressure impose on the victim's own
+ * working set).  Trial bodies call this iff
+ * spec.defense.recordsMetrics(), so undefended cells keep their
+ * serialized shape byte-identical.
+ */
+void recordDefenseMetrics(TrialRecorder &rec, const Machine &machine,
+                          const std::vector<Addr> *working_set);
+
+/**
+ * Arm the machine's self-eviction watchdog on @p victim's working set
+ * (target + decoy lines) iff the machine deploys one.  Called by the
+ * victim-bearing trial bodies right after victim construction so the
+ * watchdog observes the whole attack window.
+ */
+void maybeArmScenarioWatchdog(Machine &machine,
+                              const VictimService &victim);
 
 } // namespace llcf
 

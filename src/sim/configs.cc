@@ -39,6 +39,7 @@ MachineConfig::check() const
         warn("L2 ways (%u) below SF ways + 2 (%u); SF eviction-set "
              "extension will thrash its own working set",
              l2.ways, sf.ways + 2);
+    defense.check(llc.ways, sf.ways, cores);
 }
 
 MachineConfig &

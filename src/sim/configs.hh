@@ -13,6 +13,7 @@
 #include "cache/geometry.hh"
 #include "cache/replacement.hh"
 #include "cache/slice_hash.hh"
+#include "defense/defense.hh"
 #include "sim/timing.hh"
 
 namespace llcf {
@@ -49,6 +50,9 @@ struct MachineConfig
 
     /** Key of the per-machine opaque slice hash. */
     std::uint64_t sliceSalt = 0x5eed5a17;
+
+    /** Host-side defenses; default-constructed = all off. */
+    DefenseConfig defense;
 
     TimingParams timing;
 

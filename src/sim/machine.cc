@@ -88,6 +88,35 @@ Machine::Machine(const MachineConfig &cfg, const NoiseProfile &noise,
         l1_.emplace_back(cfg_.l1, cfg_.l1Repl);
         l2_.emplace_back(cfg_.l2, cfg_.l2Repl);
     }
+    if (cfg_.defense.any()) {
+        if (cfg_.defense.randomize.enabled) {
+            rekeyRng_ =
+                Rng(mix64(seed ^ cfg_.defense.randomize.keySalt));
+            indexHashParams_ = makeIndexHashParams(cfg_.llc.indexBits(),
+                                                   rekeyRng_.next());
+            indexMasks_ = indexHashParams_.masks;
+            if (cfg_.defense.randomize.rekeyInterval > 0)
+                nextRekey_ = cfg_.defense.randomize.rekeyInterval;
+        }
+        const auto &part = cfg_.defense.partition;
+        const auto low_mask = [](unsigned n) {
+            return (std::uint64_t{1} << n) - 1;
+        };
+        if (part.llc) {
+            llcPartitioned_ = true;
+            llcProtectedMask_ = low_mask(part.protectedWays);
+            llcOtherMask_ =
+                low_mask(cfg_.llc.ways) & ~llcProtectedMask_;
+        }
+        if (part.sf) {
+            sfPartitioned_ = true;
+            sfProtectedMask_ = low_mask(part.protectedWays);
+            sfOtherMask_ = low_mask(cfg_.sf.ways) & ~sfProtectedMask_;
+        }
+        watchdog_ = SelfEvictionWatchdog(cfg_.defense.watchdog);
+        nextDefenseEvent_ =
+            std::min(nextRekey_, watchdog_.nextProbeAt());
+    }
     lastSync_.assign(totalSharedSets(), 0);
     hasStream_.assign(totalSharedSets(), 0);
     noisePerCycle_ = noise_.accessesPerSetPerCycle();
@@ -118,7 +147,10 @@ unsigned
 Machine::sharedSetOf(Addr pa) const
 {
     const Addr line = lineAlign(pa);
-    return sliceOf(line) * cfg_.llc.sets + cfg_.llc.setIndex(line);
+    const unsigned idx = indexMasks_.empty()
+                             ? cfg_.llc.setIndex(line)
+                             : keyedIndexOf(indexMasks_, line);
+    return sliceOf(line) * cfg_.llc.sets + idx;
 }
 
 unsigned
@@ -197,6 +229,11 @@ Machine::finishOp(double duration)
     if (c == 0)
         c = 1;
     clock_ += c;
+    // Safe point: resolved set ids from the finished op are dead, so
+    // due defense work (re-keys, watchdog sweeps) may run now.  One
+    // compare against kNeverCycles when no defense is configured.
+    if (clock_ >= nextDefenseEvent_)
+        defenseTick();
     return c;
 }
 
@@ -219,7 +256,17 @@ Machine::dropAllPrivate(Addr line)
 void
 Machine::llcInsert(unsigned s, const CacheLine &line)
 {
-    FillResult fr = llc_.fill(s, line, rng_);
+    // CAT semantics: the fill partition is the one of the core that
+    // causes the fill (the line's recorded owner), so a victim line
+    // pulled Shared by the attacker occupies the attacker's ways.
+    FillResult fr =
+        llcPartitioned_
+            ? llc_.fillMasked(s, line, rng_,
+                              line.owner ==
+                                      cfg_.defense.partition.protectedCore
+                                  ? llcProtectedMask_
+                                  : llcOtherMask_)
+            : llc_.fill(s, line, rng_);
     if (fr.evicted && fr.victim.owner != kNoiseOwner) {
         // A real Shared line left the LLC: nothing tracks it any
         // more, so private Shared copies are back-invalidated.
@@ -230,7 +277,14 @@ Machine::llcInsert(unsigned s, const CacheLine &line)
 void
 Machine::sfAllocate(unsigned s, const CacheLine &entry)
 {
-    FillResult fr = sf_.fill(s, entry, rng_);
+    FillResult fr =
+        sfPartitioned_
+            ? sf_.fillMasked(s, entry, rng_,
+                             entry.owner ==
+                                     cfg_.defense.partition.protectedCore
+                                 ? sfProtectedMask_
+                                 : sfOtherMask_)
+            : sf_.fill(s, entry, rng_);
     if (!fr.evicted)
         return;
     const CacheLine v = fr.victim;
@@ -796,6 +850,149 @@ Machine::clearStreams()
     updateQuiescent();
 }
 
+// ---------------------------------------------------------- defenses
+
+void
+Machine::armWatchdog(unsigned core, std::vector<Addr> lines)
+{
+    if (!cfg_.defense.watchdog.enabled)
+        fatal("armWatchdog: watchdog disabled in this configuration");
+    if (core >= cfg_.cores)
+        fatal("armWatchdog: core %u out of range", core);
+    for (Addr &pa : lines)
+        pa = lineAlign(pa);
+    watchdog_.arm(core, std::move(lines), clock_);
+    nextDefenseEvent_ = std::min(nextRekey_, watchdog_.nextProbeAt());
+}
+
+DefenseStats
+Machine::defenseStats() const
+{
+    DefenseStats ds;
+    ds.rekeys = rekeys_;
+    ds.rekeyLinesMoved = rekeyLinesMoved_;
+    ds.wdProbes = watchdog_.probes();
+    ds.wdMisses = watchdog_.misses();
+    ds.wdFires = watchdog_.fires();
+    return ds;
+}
+
+void
+Machine::rekeyNow()
+{
+    if (!cfg_.defense.randomize.enabled)
+        fatal("rekeyNow: index randomization disabled");
+    indexHashParams_ = makeIndexHashParams(cfg_.llc.indexBits(),
+                                           rekeyRng_.next());
+    indexMasks_ = indexHashParams_.masks;
+    ++rekeys_;
+    remapSharedStructures();
+}
+
+void
+Machine::remapSharedStructures()
+{
+    // Collect every live shared line in deterministic set/way order.
+    struct Saved
+    {
+        CacheLine line;
+        bool inSf;
+    };
+    std::vector<Saved> saved;
+    const unsigned total = totalSharedSets();
+    for (unsigned s = 0; s < total; ++s) {
+        for (unsigned w = 0; w < cfg_.sf.ways; ++w) {
+            const CacheLine l = sf_.line(s, w);
+            if (l.valid())
+                saved.push_back({l, true});
+        }
+        for (unsigned w = 0; w < cfg_.llc.ways; ++w) {
+            const CacheLine l = llc_.line(s, w);
+            if (l.valid())
+                saved.push_back({l, false});
+        }
+    }
+    sf_.flushAll();
+    llc_.flushAll();
+    // Reinsert under the new key.  Sets that overflow in the new
+    // mapping evict through the ordinary insert paths — including
+    // back-invalidation of private copies — which is the real cost
+    // of relocating into a colder arrangement.
+    for (const Saved &sv : saved) {
+        const unsigned s = sharedSetOf(sv.line.lineAddr);
+        if (sv.inSf)
+            sfAllocate(s, sv.line);
+        else
+            llcInsert(s, sv.line);
+    }
+    rekeyLinesMoved_ += saved.size();
+    // Stream replay is indexed by shared set and the mapping changed.
+    rebuildStreamIndex();
+    idle(static_cast<Cycles>(saved.size()) *
+         cfg_.defense.randomize.rekeyPerLineCost);
+}
+
+void
+Machine::rebuildStreamIndex()
+{
+    setStreams_.clear();
+    std::fill(hasStream_.begin(), hasStream_.end(), 0);
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+        const unsigned s = sharedSetOf(streams_[i].line);
+        setStreams_[s].push_back(i);
+        hasStream_[s] = 1;
+    }
+}
+
+void
+Machine::runWatchdogProbe()
+{
+    // Background sweep: the monitor's own time is not charged to the
+    // op this tick piggybacks on, but the accesses touch real cache
+    // state — self-monitoring has an observer effect, and the sweep
+    // re-establishes residency of the very working set it checks.
+    const unsigned core = watchdog_.core();
+    bool fired = false;
+    for (const Addr line : watchdog_.lines()) {
+        const AccessOutcome out = accessLine(core, line, false);
+        const bool miss =
+            out.level != HitLevel::L1 && out.level != HitLevel::L2;
+        fired |= watchdog_.observe(miss, clock_);
+    }
+    if (fired && cfg_.defense.watchdog.action == WatchdogAction::Rekey)
+        rekeyPending_ = true;
+}
+
+void
+Machine::defenseTick()
+{
+    if (inDefenseTick_)
+        return;
+    inDefenseTick_ = true;
+    if (watchdog_.armed()) {
+        while (clock_ >= watchdog_.nextProbeAt()) {
+            runWatchdogProbe();
+            watchdog_.scheduleNextProbe();
+        }
+    }
+    if (rekeyPending_ || clock_ >= nextRekey_) {
+        rekeyPending_ = false;
+        const Cycles iv = cfg_.defense.randomize.rekeyInterval;
+        if (nextRekey_ != kNeverCycles) {
+            while (nextRekey_ <= clock_)
+                nextRekey_ += iv;
+        }
+        rekeyNow();
+        // The remap stall may have crossed the next interval already.
+        if (nextRekey_ != kNeverCycles) {
+            while (nextRekey_ <= clock_)
+                nextRekey_ += iv;
+        }
+    }
+    nextDefenseEvent_ = std::min(nextRekey_, watchdog_.nextProbeAt());
+    inDefenseTick_ = false;
+}
+
 Machine::Snapshot
 Machine::snapshot() const
 {
@@ -823,6 +1020,14 @@ Machine::snapshot() const
     s.quiescent = quiescent_;
     s.stats = stats_;
     s.perf = perf_;
+    s.indexMasks = indexMasks_;
+    s.indexHashParams = indexHashParams_;
+    s.rekeyRng = rekeyRng_;
+    s.nextRekey = nextRekey_;
+    s.rekeyPending = rekeyPending_;
+    s.rekeys = rekeys_;
+    s.rekeyLinesMoved = rekeyLinesMoved_;
+    s.watchdog = watchdog_;
     return s;
 }
 
@@ -852,6 +1057,15 @@ Machine::restore(const Snapshot &s)
     quiescent_ = s.quiescent;
     stats_ = s.stats;
     perf_ = s.perf;
+    indexMasks_ = s.indexMasks;
+    indexHashParams_ = s.indexHashParams;
+    rekeyRng_ = s.rekeyRng;
+    nextRekey_ = s.nextRekey;
+    rekeyPending_ = s.rekeyPending;
+    rekeys_ = s.rekeys;
+    rekeyLinesMoved_ = s.rekeyLinesMoved;
+    watchdog_ = s.watchdog;
+    nextDefenseEvent_ = std::min(nextRekey_, watchdog_.nextProbeAt());
 }
 
 } // namespace llcf

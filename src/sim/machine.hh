@@ -42,6 +42,7 @@
 #include "cache/slice_hash.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "defense/watchdog.hh"
 #include "mem/address_space.hh"
 #include "noise/profile.hh"
 #include "sim/configs.hh"
@@ -255,6 +256,44 @@ class Machine
     /** Remove all streams. */
     void clearStreams();
 
+    // ------------------------------------------------------ defenses
+    // Configured via MachineConfig::defense; everything below is
+    // inert (and free on the hot path) when no defense is enabled.
+
+    /** True iff the keyed set-index hash is active. */
+    bool indexRandomized() const { return !indexMasks_.empty(); }
+
+    /**
+     * The XorMatrix slice-hash-family member currently keying the
+     * shared set index.  @pre indexRandomized()
+     */
+    const SliceHashParams &
+    indexHashParams() const
+    {
+        return indexHashParams_;
+    }
+
+    /**
+     * Re-key the index hash immediately: draw the next key, remap
+     * every live LLC/SF line to its set under the new key (evicting
+     * through the ordinary paths on conflicts) and charge the
+     * per-line remap stall.  Interval- and watchdog-triggered re-keys
+     * run through this at operation boundaries — never inside an
+     * access, where resolved set ids are live.
+     * @pre DefenseConfig::randomize.enabled
+     */
+    void rekeyNow();
+
+    /**
+     * Arm the self-eviction watchdog over the defended workload's
+     * working set (physical line addresses, probed as @p core).
+     * @pre DefenseConfig::watchdog.enabled
+     */
+    void armWatchdog(unsigned core, std::vector<Addr> lines);
+
+    /** Defense event totals (re-keys, watchdog probes/fires). */
+    DefenseStats defenseStats() const;
+
     // --------------------------------- introspection (ground truth)
     // For tests and validation only; attack code must not use these.
 
@@ -318,6 +357,15 @@ class Machine
         bool quiescent = false;
         MachineStats stats;
         PerfCounters perf;
+        // Defense state (inert defaults when no defense is on).
+        std::vector<Addr> indexMasks;
+        SliceHashParams indexHashParams;
+        Rng rekeyRng;
+        Cycles nextRekey = kNeverCycles;
+        bool rekeyPending = false;
+        std::uint64_t rekeys = 0;
+        std::uint64_t rekeyLinesMoved = 0;
+        SelfEvictionWatchdog watchdog;
     };
 
     /** Capture the current simulated state. */
@@ -453,6 +501,26 @@ class Machine
     /** Add jitter and possible interrupt cost, then advance clock. */
     Cycles finishOp(double duration);
 
+    // ------------------------------------------- defense internals
+
+    /**
+     * Run due defense work — interval re-keys, pending watchdog-
+     * triggered re-keys, watchdog sweeps.  Called from finishOp, i.e.
+     * at operation boundaries only: a re-key changes the set mapping,
+     * so it must never run inside accessLine where resolved set ids
+     * are live.
+     */
+    void defenseTick();
+
+    /** One watchdog sweep over the armed working set. */
+    void runWatchdogProbe();
+
+    /** Move every live LLC/SF line to its set under the current key. */
+    void remapSharedStructures();
+
+    /** Rebuild the per-set stream-replay index after a re-key. */
+    void rebuildStreamIndex();
+
     MachineConfig cfg_;
     NoiseProfile noise_;
 
@@ -518,6 +586,28 @@ class Machine
      * CacheArrays and are merged by perfCounters().
      */
     PerfCounters perf_;
+
+    // ------------------------------------------------ defense state
+    // All inert (empty masks, kNeverCycles timers) when cfg_.defense
+    // is off, so the undefended hot path pays one compare in finishOp
+    // and one empty() test in sharedSetOf.
+
+    std::vector<Addr> indexMasks_; //!< keyed index hash; empty = natural
+    SliceHashParams indexHashParams_; //!< family record of indexMasks_
+    Rng rekeyRng_;                    //!< key stream for (re)keying
+    Cycles nextRekey_ = kNeverCycles; //!< next interval-triggered re-key
+    bool rekeyPending_ = false; //!< watchdog requested a re-key
+    bool inDefenseTick_ = false; //!< defenseTick re-entry guard
+    Cycles nextDefenseEvent_ = kNeverCycles; //!< min of defense timers
+    std::uint64_t rekeys_ = 0;
+    std::uint64_t rekeyLinesMoved_ = 0;
+    bool llcPartitioned_ = false;
+    bool sfPartitioned_ = false;
+    std::uint64_t llcProtectedMask_ = 0; //!< victim-domain LLC ways
+    std::uint64_t llcOtherMask_ = 0;     //!< everyone else's LLC ways
+    std::uint64_t sfProtectedMask_ = 0;  //!< victim-domain SF ways
+    std::uint64_t sfOtherMask_ = 0;      //!< everyone else's SF ways
+    SelfEvictionWatchdog watchdog_;
 };
 
 } // namespace llcf
