@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# The repository's static-analysis gate, runnable locally exactly as
+# CI runs it (the static-analysis job):
+#
+#   1. detlint — the determinism-contract linter (tools/detlint/):
+#      banned constructs (rand/wallclock/getenv/unordered-iter/
+#      float-format/thread-id) plus header and doc hygiene.  Any
+#      finding fails the gate.
+#   2. clang-tidy — general C++ hygiene over the compile database
+#      (.clang-tidy).  Warnings are surfaced in the log; only the
+#      WarningsAsErrors subset and parse errors fail the gate.
+#      Skipped with a notice when clang-tidy is not installed, so
+#      the script stays runnable on minimal dev containers.
+#
+# Usage:
+#   scripts/run_static_analysis.sh [build-dir]
+#
+# The build dir (default: build) supplies the detlint binary and
+# compile_commands.json; both are built/configured on demand.
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-build}
+
+fail() {
+    echo "run_static_analysis: $*" >&2
+    exit 1
+}
+
+cd "$repo_root"
+
+# ------------------------------------------------------------ configure
+if [ ! -f "$build/CMakeCache.txt" ]; then
+    echo "== configuring $build =="
+    cmake -B "$build" -S "$repo_root" > /dev/null
+fi
+
+# -------------------------------------------------------------- detlint
+echo "== detlint (determinism contract) =="
+cmake --build "$build" --target detlint > /dev/null
+"$build/tools/detlint/detlint" --root="$repo_root"
+
+# ----------------------------------------------------------- clang-tidy
+if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "== clang-tidy not installed; skipping (CI runs it) =="
+    exit 0
+fi
+
+echo "== clang-tidy (.clang-tidy, compile database) =="
+[ -f "$build/compile_commands.json" ] || \
+    fail "$build/compile_commands.json missing; configure with" \
+         "CMAKE_EXPORT_COMPILE_COMMANDS (the default here)"
+
+# Only translation units in the compile database are analyzable;
+# that skips the detlint fixture corpus (never compiled) by
+# construction.
+jobs=$(nproc 2> /dev/null || echo 4)
+git ls-files 'src/*.cc' 'bench/*.cc' 'tests/test_*.cc' \
+    'tools/*.cc' |
+    xargs -P "$jobs" -n 8 clang-tidy -p "$build" --quiet
+
+echo "static analysis: clean"

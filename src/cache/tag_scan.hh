@@ -34,8 +34,7 @@
 #ifndef LLCF_CACHE_TAG_SCAN_HH
 #define LLCF_CACHE_TAG_SCAN_HH
 
-#include <cstdlib>
-
+#include "common/options.hh"
 #include "common/types.hh"
 
 // Vector extensions require GCC or Clang; anything else falls back to
@@ -50,15 +49,13 @@ namespace llcf {
 
 namespace detail {
 
-inline bool
-tagScanScalarFromEnv()
-{
-    const char *e = std::getenv("LLCF_SCALAR_TAGS");
-    return e != nullptr && *e != '\0' && *e != '0';
-}
-
-/** Process-global force-scalar flag (tests / CI byte-identity only). */
-inline bool g_tag_scan_force_scalar = tagScanScalarFromEnv();
+/**
+ * Process-global force-scalar flag (tests / CI byte-identity only).
+ * LLCF_SCALAR_TAGS is read once at startup through the audited
+ * src/common/options.cc environment layer — the only getenv site the
+ * determinism linter admits (DESIGN.md §10).
+ */
+inline bool g_tag_scan_force_scalar = envBool("LLCF_SCALAR_TAGS");
 
 } // namespace detail
 

@@ -89,10 +89,9 @@ void
 TopologyProber::membershipScan(TargetProbe &probe, Cycles deadline,
                                CalibratedTopology &out)
 {
-    std::unordered_map<Addr, bool> member_base;
+    FlatSet<Addr> member_base;
     for (Addr a : probe.minSet)
-        member_base.emplace(a & ~static_cast<Addr>(kPageBytes - 1),
-                            true);
+        member_base.insert(a & ~static_cast<Addr>(kPageBytes - 1));
     const std::size_t window =
         std::min<std::size_t>(cfg_.samplePages, pool_.pages());
     for (std::size_t p = 0; p < window; ++p) {
@@ -138,16 +137,15 @@ TopologyProber::measureSfWays(TargetProbe &probe, Cycles deadline,
 
     // Extend with congruent pages: the scan hits first, then keep
     // scanning the pool past the sample window.
-    std::unordered_map<Addr, bool> used;
-    used.emplace(pool_.at(probe.taPage, 0), true);
+    FlatSet<Addr> used;
+    used.insert(pool_.at(probe.taPage, 0));
     for (Addr a : current)
-        used.emplace(a & ~static_cast<Addr>(kPageBytes - 1), true);
+        used.insert(a & ~static_cast<Addr>(kPageBytes - 1));
 
     auto extend_with = [&](std::size_t page, bool record) -> int {
         const Addr base = pool_.at(page, 0);
-        if (used.count(base))
+        if (!used.insert(base))
             return 0;
-        used.emplace(base, true);
         const Addr cand = pool_.at(page, cfg_.lineIndex);
         // Continuation-scan tests (record == true) are fresh
         // congruence samples; pool them into the U estimator.  The
@@ -204,10 +202,10 @@ TopologyProber::survivalProbe(TargetProbe &probe, Cycles deadline,
     if (min_set2.empty())
         return; // no survival data; snapGeometry falls back
 
-    std::unordered_map<Addr, bool> exclude;
-    exclude.emplace(pool_.at(probe.taPage, 0), true);
+    FlatSet<Addr> exclude;
+    exclude.insert(pool_.at(probe.taPage, 0));
     for (Addr a : min_set2)
-        exclude.emplace(a & ~static_cast<Addr>(kPageBytes - 1), true);
+        exclude.insert(a & ~static_cast<Addr>(kPageBytes - 1));
 
     // Every page here is congruent with the target page at
     // cfg_.lineIndex: the set-index bits above the page offset carry
@@ -215,10 +213,10 @@ TopologyProber::survivalProbe(TargetProbe &probe, Cycles deadline,
     // whether the slice hash re-rolled onto the same slice (~1/S).
     std::vector<std::size_t> pages = probe.congruentPages;
     for (Addr a : probe.minSet) {
-        auto it =
+        const auto *e =
             pageOfBase_.find(a & ~static_cast<Addr>(kPageBytes - 1));
-        if (it != pageOfBase_.end())
-            pages.push_back(it->second);
+        if (e)
+            pages.push_back(e->second);
     }
     for (std::size_t p : pages) {
         if (session_.expired(deadline))

@@ -46,9 +46,9 @@
 #ifndef LLCF_CALIB_PROBER_HH
 #define LLCF_CALIB_PROBER_HH
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_set.hh"
 #include "evset/algorithms.hh"
 #include "evset/candidate.hh"
 #include "evset/session.hh"
@@ -210,7 +210,7 @@ class TopologyProber
 
     /** Page-frame base -> pool page index, for mapping eviction-set
      *  members back to their pages. */
-    std::unordered_map<Addr, std::size_t> pageOfBase_;
+    FlatMap<Addr, std::size_t> pageOfBase_;
 };
 
 } // namespace llcf

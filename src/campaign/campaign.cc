@@ -415,6 +415,9 @@ KeyRecoveryCampaign::KeyRecoveryCampaign(ScenarioSpec spec)
 CampaignResult
 KeyRecoveryCampaign::run(const CampaignRunOptions &opts) const
 {
+    // wallSeconds is stdout-only progress info; writeJson omits it
+    // (campaign.hh), so no serialized byte depends on this read.
+    // detlint: allow(wallclock) -- stdout-only wall time
     const auto t0 = std::chrono::steady_clock::now();
     const std::size_t fleet = opts.fleet ? opts.fleet : spec_.fleetSize;
     const unsigned threads = resolveThreadCount(opts.threads);
@@ -506,6 +509,9 @@ KeyRecoveryCampaign::run(const CampaignRunOptions &opts) const
     }
 
     out.summary = summarizeCampaign(out.aggregate);
+    // Paired with the t0 read above; feeds the stdout-only
+    // wallSeconds field, never the JSON.
+    // detlint: allow(wallclock) -- stdout-only wall time
     const auto t1 = std::chrono::steady_clock::now();
     out.summary.wallSeconds =
         std::chrono::duration<double>(t1 - t0).count();

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Sorted-vector set and map: deterministic replacements for the
+ * unordered containers on attacker bookkeeping paths.
+ *
+ * std::unordered_{set,map} iterate in hash order, which is
+ * implementation-defined and (for pointer-derived keys) can vary
+ * between runs — exactly the nondeterminism the repo's byte-identity
+ * contract bans (DESIGN.md §6, enforced statically by detlint's
+ * unordered-iter rule, §10).  These containers keep a single sorted
+ * std::vector, so iteration order is the key order, always.
+ *
+ * Complexity: O(log n) lookup, O(n) worst-case insert/erase.  The
+ * sites that use them (eviction-set exclusion sets, prober page
+ * bookkeeping) hold at most a few thousand small keys and are
+ * dominated by simulated cache traffic, so the asymptotic loss is
+ * noise; the dense layout usually wins the constant factor anyway.
+ */
+
+#ifndef LLCF_COMMON_FLAT_SET_HH
+#define LLCF_COMMON_FLAT_SET_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace llcf {
+
+/**
+ * A set over a sorted std::vector.  Iteration visits keys in
+ * ascending order — deterministic by construction.
+ */
+template <typename K>
+class FlatSet
+{
+  public:
+    FlatSet() = default;
+
+    /** Build from a range; duplicates are dropped. */
+    template <typename It>
+    FlatSet(It first, It last) : keys_(first, last)
+    {
+        std::sort(keys_.begin(), keys_.end());
+        keys_.erase(std::unique(keys_.begin(), keys_.end()),
+                    keys_.end());
+    }
+
+    /** Insert @p k; returns true iff it was not present. */
+    bool
+    insert(const K &k)
+    {
+        auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+        if (it != keys_.end() && *it == k)
+            return false;
+        keys_.insert(it, k);
+        return true;
+    }
+
+    /** Remove @p k; returns true iff it was present. */
+    bool
+    erase(const K &k)
+    {
+        auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+        if (it == keys_.end() || *it != k)
+            return false;
+        keys_.erase(it);
+        return true;
+    }
+
+    /** 1 if @p k is present, else 0 (std::set-compatible). */
+    std::size_t
+    count(const K &k) const
+    {
+        return std::binary_search(keys_.begin(), keys_.end(), k)
+                   ? 1 : 0;
+    }
+
+    bool contains(const K &k) const { return count(k) != 0; }
+    std::size_t size() const { return keys_.size(); }
+    bool empty() const { return keys_.empty(); }
+    void clear() { keys_.clear(); }
+    void reserve(std::size_t n) { keys_.reserve(n); }
+
+    auto begin() const { return keys_.begin(); }
+    auto end() const { return keys_.end(); }
+
+  private:
+    std::vector<K> keys_; //!< sorted, unique
+};
+
+/**
+ * A map over a key-sorted std::vector of pairs.  Iteration visits
+ * entries in ascending key order — deterministic by construction.
+ * find() returns a pointer (nullptr when absent) instead of an
+ * iterator, which keeps call sites shorter than the std::map idiom.
+ */
+template <typename K, typename V>
+class FlatMap
+{
+  public:
+    FlatMap() = default;
+
+    /** Insert (k, v) if @p k is absent; returns true iff inserted. */
+    bool
+    emplace(const K &k, V v)
+    {
+        auto it = lowerBound(k);
+        if (it != entries_.end() && it->first == k)
+            return false;
+        entries_.insert(it, {k, std::move(v)});
+        return true;
+    }
+
+    /** Pointer to the entry for @p k, or nullptr when absent. */
+    const std::pair<K, V> *
+    find(const K &k) const
+    {
+        auto it = lowerBound(k);
+        if (it == entries_.end() || it->first != k)
+            return nullptr;
+        return &*it;
+    }
+
+    /** 1 if @p k is present, else 0 (std::map-compatible). */
+    std::size_t count(const K &k) const { return find(k) ? 1 : 0; }
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    void clear() { entries_.clear(); }
+    void reserve(std::size_t n) { entries_.reserve(n); }
+
+    auto begin() const { return entries_.begin(); }
+    auto end() const { return entries_.end(); }
+
+  private:
+    typename std::vector<std::pair<K, V>>::const_iterator
+    lowerBound(const K &k) const
+    {
+        return std::lower_bound(entries_.begin(), entries_.end(), k,
+                                [](const std::pair<K, V> &e,
+                                   const K &key) {
+                                    return e.first < key;
+                                });
+    }
+
+    std::vector<std::pair<K, V>> entries_; //!< sorted by key, unique
+};
+
+} // namespace llcf
+
+#endif // LLCF_COMMON_FLAT_SET_HH

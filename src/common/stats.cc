@@ -422,11 +422,16 @@ formatDuration(double cycles)
 {
     char buf[64];
     const double us = cycles / (kCpuGhz * 1e3);
+    // Human-readable stdout durations; never serialized (the JSON
+    // stores raw cycle counts through jsonNumber()).
     if (us < 1e3)
+        // detlint: allow(float-format) -- human-readable stdout only
         std::snprintf(buf, sizeof(buf), "%.1f us", us);
     else if (us < 1e6)
+        // detlint: allow(float-format) -- human-readable stdout only
         std::snprintf(buf, sizeof(buf), "%.1f ms", us / 1e3);
     else
+        // detlint: allow(float-format) -- human-readable stdout only
         std::snprintf(buf, sizeof(buf), "%.2f s", us / 1e6);
     return buf;
 }

@@ -1,8 +1,8 @@
 #include "builder.hh"
 
 #include <algorithm>
-#include <unordered_set>
 
+#include "common/flat_set.hh"
 #include "common/log.hh"
 
 namespace llcf {
@@ -30,7 +30,7 @@ EvictionSetBuilder::extendToSf(Addr ta, const std::vector<Addr> &llc_set,
     const unsigned needed =
         topo.wSf > w_llc ? topo.wSf - w_llc : 1;
 
-    std::unordered_set<Addr> exclude(llc_set.begin(), llc_set.end());
+    FlatSet<Addr> exclude(llc_set.begin(), llc_set.end());
     exclude.insert(ta);
     std::vector<Addr> extras;
     // Substitution probe: llc_set with its last member swapped for the
@@ -181,7 +181,7 @@ EvictionSetBuilder::buildClass(std::vector<Addr> members,
     session_.rng().shuffle(members);
 
     std::vector<BuiltEvictionSet> class_sets;
-    std::unordered_set<Addr> consumed;
+    FlatSet<Addr> consumed;
 
     for (std::size_t idx = 0; idx < members.size(); ++idx) {
         const Addr ta = members[idx];
@@ -215,7 +215,7 @@ EvictionSetBuilder::buildClass(std::vector<Addr> members,
     }
 
     // Account the class results, deduplicating by ground-truth set.
-    std::unordered_set<unsigned> seen_sets;
+    FlatSet<unsigned> seen_sets;
     for (const auto &s : out.evsets)
         seen_sets.insert(m.sharedSetOf(s.target));
     for (auto &s : class_sets) {

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
+#include "common/flat_set.hh"
 #include "evset/candidate.hh"
 
 namespace llcf {
@@ -102,8 +102,8 @@ CandidateFilter::partition(std::vector<Addr> cands, Cycles deadline)
         }
 
         // Remove the class members from the remaining pool.
-        std::unordered_set<Addr> member_set(cls.members.begin(),
-                                            cls.members.end());
+        FlatSet<Addr> member_set(cls.members.begin(),
+                                 cls.members.end());
         std::vector<Addr> remaining;
         remaining.reserve(cands.size() - cls.members.size());
         for (Addr a : cands) {

@@ -132,7 +132,12 @@ class AddressSpace
 
   private:
     PageAllocator &allocator_;
-    std::unordered_map<Addr, Addr> pageTable_; //!< VA page -> PA frame
+    /** VA page -> PA frame.  Stays unordered deliberately: this is
+     *  the per-access translation hot path and every use is a point
+     *  lookup — nothing ever iterates it, so hash order cannot reach
+     *  observable state (the static unordered-iter rule would flag
+     *  any future iteration on a serialization path). */
+    std::unordered_map<Addr, Addr> pageTable_;
     Addr nextVa_;
 };
 

@@ -119,6 +119,7 @@ Machine::Machine(const MachineConfig &cfg, const NoiseProfile &noise,
     }
     lastSync_.assign(totalSharedSets(), 0);
     hasStream_.assign(totalSharedSets(), 0);
+    setStreams_.assign(totalSharedSets(), {});
     noisePerCycle_ = noise_.accessesPerSetPerCycle();
     updateQuiescent();
     // Batch prefetch hints only pay for themselves once the shared
@@ -397,16 +398,13 @@ Machine::syncSharedSet(unsigned s)
 
     // Registered streams (victim accesses) due in (last, t].
     if (hasStream_[s]) {
-        auto it = setStreams_.find(s);
-        if (it != setStreams_.end()) {
-            for (std::size_t idx : it->second) {
-                Stream &st = streams_[idx];
-                while (st.cursor < st.times.size() &&
-                       st.times[st.cursor] <= t) {
-                    ++st.cursor;
-                    ++stats_.streamAccesses;
-                    accessLine(st.core, st.line, st.isStore);
-                }
+        for (std::size_t idx : setStreams_[s]) {
+            Stream &st = streams_[idx];
+            while (st.cursor < st.times.size() &&
+                   st.times[st.cursor] <= t) {
+                ++st.cursor;
+                ++stats_.streamAccesses;
+                accessLine(st.core, st.line, st.isStore);
             }
         }
     }
@@ -845,7 +843,7 @@ void
 Machine::clearStreams()
 {
     streams_.clear();
-    setStreams_.clear();
+    setStreams_.assign(setStreams_.size(), {});
     std::fill(hasStream_.begin(), hasStream_.end(), 0);
     updateQuiescent();
 }
@@ -935,7 +933,7 @@ Machine::remapSharedStructures()
 void
 Machine::rebuildStreamIndex()
 {
-    setStreams_.clear();
+    setStreams_.assign(setStreams_.size(), {});
     std::fill(hasStream_.begin(), hasStream_.end(), 0);
     for (std::size_t i = 0; i < streams_.size(); ++i) {
         const unsigned s = sharedSetOf(streams_[i].line);

@@ -35,7 +35,6 @@
 
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_array.hh"
@@ -349,8 +348,7 @@ class Machine
         Cycles clock = 0;
         std::vector<Cycles> lastSync;
         std::vector<std::uint8_t> hasStream;
-        std::unordered_map<unsigned, std::vector<std::size_t>>
-            setStreams;
+        std::vector<std::vector<std::size_t>> setStreams;
         std::vector<MachineStream> streams;
         StreamId nextStreamId = 1;
         Addr noiseCounter = 0;
@@ -563,7 +561,10 @@ class Machine
     // Lazy background replay state.
     std::vector<Cycles> lastSync_;        //!< per shared set
     std::vector<std::uint8_t> hasStream_; //!< per shared set
-    std::unordered_map<unsigned, std::vector<std::size_t>> setStreams_;
+    /** Stream indices per shared set, indexed like hasStream_.  A
+     *  dense vector rather than a hash map so replay visits streams
+     *  in registration order, independent of any hash function. */
+    std::vector<std::vector<std::size_t>> setStreams_;
     std::vector<Stream> streams_;
     StreamId nextStreamId_ = 1;
     Addr noiseCounter_ = 0;

@@ -1,0 +1,15 @@
+// Fixture: a file-level allowance in fixtures.conf ('allow rand
+// allowed_rand.cc') silences the rand finding here.
+// Expected: 0 findings with the fixture config, 1 without.
+
+#include <cstdlib>
+
+namespace llcf {
+
+int
+fileAllowance()
+{
+    return std::rand();
+}
+
+} // namespace llcf

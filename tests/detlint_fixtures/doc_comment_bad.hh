@@ -1,0 +1,15 @@
+#ifndef LLCF_DOC_COMMENT_BAD_HH
+#define LLCF_DOC_COMMENT_BAD_HH
+
+namespace llcf {
+
+struct Widget
+{
+    int weight = 0;
+};
+
+int widgetWeight(const Widget &w);
+
+} // namespace llcf
+
+#endif // LLCF_DOC_COMMENT_BAD_HH

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Fixture: fully documented public header.  Expected: 0 findings.
+ */
+
+#ifndef LLCF_DOC_COMMENT_GOOD_HH
+#define LLCF_DOC_COMMENT_GOOD_HH
+
+namespace llcf {
+
+/** A documented gadget. */
+struct Gadget
+{
+    int weight = 0;
+};
+
+/** Documented accessor: the gadget's weight. */
+int gadgetWeight(const Gadget &g);
+
+} // namespace llcf
+
+#endif // LLCF_DOC_COMMENT_GOOD_HH

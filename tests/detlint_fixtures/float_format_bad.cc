@@ -1,0 +1,37 @@
+// Fixture: every float-serialization bypass fires 'float-format'.
+// Expected: 6 float-format findings (%f, %g, setprecision,
+// ostream<<literal, ostream<<double-var, to_string(double)).
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace llcf {
+
+void
+printReport(double mean)
+{
+    std::printf("%f\n", mean);
+    std::printf("width %8.3g end\n", mean);
+}
+
+void
+streamReport(std::ostringstream &os, double mean)
+{
+    os << std::setprecision(17);
+    os << 3.14;
+    os << mean;
+    os << "done";
+}
+
+std::string
+describe(long count)
+{
+    double ratio = 0.5;
+    std::string out = std::to_string(ratio);
+    out += std::to_string(count);
+    return out;
+}
+
+} // namespace llcf

@@ -1,0 +1,18 @@
+// Fixture: integer conversions, literal percents and to_string of
+// integers are all fine.  Expected: 0 findings.
+
+#include <cstdio>
+#include <string>
+
+namespace llcf {
+
+std::string
+cleanReport(long count, double mean)
+{
+    std::printf("%ld items (100%% done)\n", count);
+    std::string out = std::to_string(count);
+    (void)mean;
+    return out;
+}
+
+} // namespace llcf

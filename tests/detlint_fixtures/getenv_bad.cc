@@ -1,0 +1,14 @@
+// Fixture: a direct getenv outside the options layer fires.
+// Expected: 1 getenv finding.
+
+#include <cstdlib>
+
+namespace llcf {
+
+bool
+scalarTagsRequested()
+{
+    return std::getenv("LLCF_SCALAR_TAGS") != nullptr;
+}
+
+} // namespace llcf

@@ -1,0 +1,14 @@
+// Fixture: environment access through the options layer helper.
+// Expected: 0 findings.
+
+namespace llcf {
+
+bool envBool(const char *name, bool dflt);
+
+bool
+scalarTagsRequested()
+{
+    return envBool("LLCF_SCALAR_TAGS", false);
+}
+
+} // namespace llcf

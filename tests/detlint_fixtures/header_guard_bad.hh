@@ -1,0 +1,10 @@
+/**
+ * @file
+ * Fixture: wrong guard symbol and a bare closing #endif.
+ * Expected: 2 header-guard findings.
+ */
+
+#ifndef WRONG_GUARD_HH
+#define WRONG_GUARD_HH
+
+#endif

@@ -1,0 +1,9 @@
+/**
+ * @file
+ * Fixture: the canonical include guard.  Expected: 0 findings.
+ */
+
+#ifndef LLCF_HEADER_GUARD_GOOD_HH
+#define LLCF_HEADER_GUARD_GOOD_HH
+
+#endif // LLCF_HEADER_GUARD_GOOD_HH

@@ -1,0 +1,17 @@
+// Fixture: unresolvable quoted include, deprecated C header, and a
+// project header included with angle brackets.
+// Expected: 3 include findings.
+
+#include "missing/not_here.hh"
+#include <stdio.h>
+#include <include_helper.hh>
+
+namespace llcf {
+
+int
+fixtureIncludes()
+{
+    return 0;
+}
+
+} // namespace llcf

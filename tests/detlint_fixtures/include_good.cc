@@ -1,0 +1,19 @@
+// Fixture: quoted in-tree include and <c...> system headers.
+// Expected: 0 findings.
+
+#include "include_helper.hh"
+
+#include <cstdio>
+#include <vector>
+
+namespace llcf {
+
+int
+fixtureIncludesClean()
+{
+    std::vector<int> v{1, 2, 3};
+    std::printf("%zu\n", v.size());
+    return 0;
+}
+
+} // namespace llcf

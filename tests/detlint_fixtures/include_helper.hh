@@ -1,0 +1,10 @@
+/**
+ * @file
+ * Fixture: resolvable in-tree include target for the include-rule
+ * fixtures.  Expected: 0 findings.
+ */
+
+#ifndef LLCF_INCLUDE_HELPER_HH
+#define LLCF_INCLUDE_HELPER_HH
+
+#endif // LLCF_INCLUDE_HELPER_HH

@@ -1,0 +1,18 @@
+// Fixture: every banned randomness source fires the 'rand' rule.
+// Expected: 3 rand findings.
+
+#include <cstdlib>
+#include <random>
+
+namespace llcf {
+
+int
+hostNoise()
+{
+    std::srand(42);
+    std::random_device entropy;
+    const int raw = std::rand();
+    return raw + static_cast<int>(entropy());
+}
+
+} // namespace llcf

@@ -1,0 +1,25 @@
+// Fixture: seeded-stream randomness and rand-lookalike identifiers
+// ('strand', 'operand') must not fire.  Expected: 0 findings.
+
+namespace llcf {
+
+struct Rng
+{
+    unsigned long long state = 1;
+
+    unsigned long long
+    next()
+    {
+        return state *= 6364136223846793005ULL;
+    }
+};
+
+int
+streamNoise(Rng &rng)
+{
+    int strand = static_cast<int>(rng.next() & 0xff);
+    int operand = 7;
+    return strand + operand;
+}
+
+} // namespace llcf

@@ -1,0 +1,20 @@
+// Fixture: broken suppressions are findings themselves, and an
+// unjustified suppression does NOT silence the underlying rule.
+// Expected: 3 suppression findings + 1 rand finding.
+
+#include <cstdlib>
+
+namespace llcf {
+
+int
+noisy()
+{
+    // detlint: allow(rand)
+    int a = std::rand();
+    // detlint: allow(notarule) -- the rule name is wrong on purpose
+    int b = 1;
+    // detlint: oops, not even an allow()
+    return a + b;
+}
+
+} // namespace llcf

@@ -1,0 +1,15 @@
+// Fixture: a justified suppression silences the covered finding.
+// Expected: 0 findings.
+
+#include <cstdlib>
+
+namespace llcf {
+
+int
+quiet()
+{
+    // detlint: allow(rand) -- fixture: justified allows suppress
+    return std::rand();
+}
+
+} // namespace llcf

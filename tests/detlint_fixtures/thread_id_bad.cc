@@ -1,0 +1,17 @@
+// Fixture: thread identities and %p addresses as data fire
+// 'thread-id'.  Expected: 3 thread-id findings.
+
+#include <cstdio>
+#include <thread>
+
+namespace llcf {
+
+void
+logWorker()
+{
+    std::thread::id worker;
+    worker = std::this_thread::get_id();
+    std::printf("worker at %p\n", static_cast<void *>(&worker));
+}
+
+} // namespace llcf

@@ -1,0 +1,14 @@
+// Fixture: deterministic lane indices instead of thread ids.
+// Expected: 0 findings.
+
+#include <cstdio>
+
+namespace llcf {
+
+void
+logLane(unsigned lane)
+{
+    std::printf("lane %u\n", lane);
+}
+
+} // namespace llcf

@@ -1,0 +1,47 @@
+// Fixture: hash-order iteration reachable from JSON roots.
+// writeJsonReport is a config root ('root writeJsonReport' in
+// fixtures.conf); sumTally is reachable from it through the call
+// graph; emitViaWriter roots itself by referencing JsonWriter.
+// Expected: 3 unordered-iter findings.
+
+#include <string>
+#include <unordered_map>
+
+namespace llcf {
+
+namespace {
+std::unordered_map<int, long> tally;
+} // namespace
+
+long
+sumTally()
+{
+    long total = 0;
+    for (const auto &kv : tally)
+        total += kv.second;
+    return total;
+}
+
+long
+writeJsonReport()
+{
+    std::unordered_map<std::string, long> extra;
+    extra.emplace("a", 1);
+    long total = sumTally();
+    for (const auto &kv : extra)
+        total += kv.second;
+    return total;
+}
+
+long
+emitViaWriter()
+{
+    JsonWriter writer;
+    (void)writer;
+    long total = 0;
+    for (const auto &kv : tally)
+        total += kv.second;
+    return total;
+}
+
+} // namespace llcf

@@ -1,0 +1,29 @@
+// Fixture: hash iteration in a function NOT reachable from any
+// JSON root, and a lookup-only map inside a root — both fine.
+// Expected: 0 findings.
+
+#include <unordered_map>
+
+namespace llcf {
+
+namespace {
+std::unordered_map<int, long> stash;
+} // namespace
+
+long
+debugDump()
+{
+    long total = 0;
+    for (const auto &kv : stash)
+        total += kv.second;
+    return total;
+}
+
+long
+writeJsonClean()
+{
+    const auto it = stash.find(3);
+    return it == stash.end() ? 0 : it->second;
+}
+
+} // namespace llcf

@@ -1,0 +1,21 @@
+// Fixture: host clock reads fire the 'wallclock' rule.
+// Expected: 3 wallclock findings.
+
+#include <chrono>
+#include <sys/time.h>
+
+namespace llcf {
+
+double
+hostSeconds()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::system_clock::now();
+    struct timeval tv;
+    gettimeofday(&tv, nullptr);
+    (void)t0;
+    (void)t1;
+    return static_cast<double>(tv.tv_sec);
+}
+
+} // namespace llcf

@@ -1,0 +1,13 @@
+// Fixture: simulated time is fine.  Expected: 0 findings.
+
+namespace llcf {
+
+using Cycles = unsigned long long;
+
+Cycles
+simulatedNow(Cycles clock)
+{
+    return clock + 100;
+}
+
+} // namespace llcf

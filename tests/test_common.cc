@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <iterator>
 #include <set>
+#include <vector>
 
+#include "common/flat_set.hh"
 #include "common/options.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -247,6 +251,57 @@ TEST(Stats, FormatDurationUnits)
     EXPECT_EQ(formatDuration(2000.0), "1.0 us");
     EXPECT_EQ(formatDuration(2.0e6), "1.0 ms");
     EXPECT_EQ(formatDuration(4.0e9), "2.00 s");
+}
+
+TEST(FlatSet, IterationIsSortedRegardlessOfInsertOrder)
+{
+    // The property the unordered->flat sweep relies on: two sets
+    // built from the same keys in different orders iterate (and so
+    // serialize) identically.
+    FlatSet<Addr> a, b;
+    const Addr keys[] = {0x9000, 0x1000, 0x5000, 0x3000, 0x7000};
+    for (Addr k : keys)
+        a.insert(k);
+    for (auto it = std::rbegin(keys); it != std::rend(keys); ++it)
+        b.insert(*it);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+}
+
+TEST(FlatSet, InsertCountErase)
+{
+    FlatSet<Addr> s;
+    EXPECT_TRUE(s.insert(5));
+    EXPECT_FALSE(s.insert(5)); // duplicate
+    EXPECT_TRUE(s.insert(2));
+    EXPECT_EQ(s.count(5), 1u);
+    EXPECT_EQ(s.count(3), 0u);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s.erase(5));
+    EXPECT_FALSE(s.erase(5));
+    EXPECT_EQ(s.count(5), 0u);
+}
+
+TEST(FlatSet, RangeConstructorDeduplicates)
+{
+    const std::vector<Addr> keys = {3, 1, 3, 2, 1};
+    FlatSet<Addr> s(keys.begin(), keys.end());
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+}
+
+TEST(FlatMap, EmplaceFindAndSortedIteration)
+{
+    FlatMap<Addr, std::size_t> m;
+    EXPECT_TRUE(m.emplace(30, 3));
+    EXPECT_TRUE(m.emplace(10, 1));
+    EXPECT_FALSE(m.emplace(30, 99)); // first value wins
+    const auto *hit = m.find(30);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->second, 3u);
+    EXPECT_EQ(m.find(20), nullptr);
+    EXPECT_EQ(m.count(10), 1u);
+    EXPECT_EQ(m.begin()->first, 10u); // sorted by key
 }
 
 TEST(Options, EnvParsing)

@@ -148,11 +148,15 @@ TEST(ThreadPool, RunsEveryIndexExactlyOnce)
 TEST(ThreadPool, ActuallyUsesMultipleThreads)
 {
     ThreadPool pool(4);
+    // Asserts the pool really runs concurrently; the ids never
+    // leave this test's stack.
+    // detlint: allow(thread-id) -- concurrency assertion only
     std::set<std::thread::id> ids;
     std::mutex m;
     pool.parallelFor(64, [&](std::size_t) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
         std::lock_guard<std::mutex> lock(m);
+        // detlint: allow(thread-id) -- concurrency assertion only
         ids.insert(std::this_thread::get_id());
     });
     EXPECT_GT(ids.size(), 1u);

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * detlint.conf parsing and path matching.
+ *
+ * The config is line-oriented:
+ *
+ *   # comment
+ *   exclude <path-prefix>         skip these files entirely
+ *   allow <rule> <path-prefix>    file-level allowance for one rule
+ *   root <function-name>          extra unordered-iter root function
+ *   rootfile <path-prefix>        every function here is a root
+ *
+ * Path prefixes are repo-relative with '/' separators and match
+ * whole path components ("src/common" matches src/common/rng.hh but
+ * not src/commonplace.hh).
+ */
+
+#include "detlint.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace llcf::detlint {
+
+namespace {
+
+bool
+prefixMatch(const std::string &prefix, const std::string &rel)
+{
+    if (rel.size() < prefix.size() ||
+        rel.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    return rel.size() == prefix.size() || rel[prefix.size()] == '/';
+}
+
+} // namespace
+
+std::optional<Config>
+Config::load(const std::string &path, std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open config " + path;
+        return std::nullopt;
+    }
+    Config cfg;
+    std::string line;
+    int ln = 0;
+    const auto &rules = ruleNames();
+    while (std::getline(in, line)) {
+        ++ln;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ss(line);
+        std::string kw;
+        if (!(ss >> kw))
+            continue;
+        std::string a, b, extra;
+        if (kw == "exclude" && (ss >> a) && !(ss >> extra)) {
+            cfg.excludes.push_back(a);
+        } else if (kw == "allow" && (ss >> a >> b) && !(ss >> extra)) {
+            if (std::find(rules.begin(), rules.end(), a) ==
+                rules.end()) {
+                error = path + ":" + std::to_string(ln) +
+                        ": unknown rule '" + a + "'";
+                return std::nullopt;
+            }
+            cfg.allows.emplace(a, b);
+        } else if (kw == "root" && (ss >> a) && !(ss >> extra)) {
+            cfg.rootFuncs.insert(a);
+        } else if (kw == "rootfile" && (ss >> a) && !(ss >> extra)) {
+            cfg.rootFiles.push_back(a);
+        } else {
+            error = path + ":" + std::to_string(ln) +
+                    ": malformed line";
+            return std::nullopt;
+        }
+    }
+    return cfg;
+}
+
+bool
+Config::allowed(const std::string &rule, const std::string &rel) const
+{
+    const auto [lo, hi] = allows.equal_range(rule);
+    for (auto it = lo; it != hi; ++it) {
+        if (prefixMatch(it->second, rel))
+            return true;
+    }
+    return false;
+}
+
+bool
+Config::excluded(const std::string &rel) const
+{
+    for (const std::string &e : excludes) {
+        if (prefixMatch(e, rel))
+            return true;
+    }
+    return false;
+}
+
+} // namespace llcf::detlint

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * detlint — the repo's determinism-contract linter.
+ *
+ * The BENCH JSON byte-identity contract (DESIGN.md §6/§9/§10) is
+ * enforced at runtime by `cmp` gates, but those only catch violations
+ * on the cells CI happens to run.  detlint checks every line of
+ * src/, bench/ and tests/ statically for the construct classes that
+ * have historically broken (or could silently break) the contract:
+ *
+ *   rand           std::rand/srand/random_device — all randomness
+ *                  must come from the positional llcf::Rng streams.
+ *   wallclock      system_clock/steady_clock/... outside the
+ *                  allowlisted wall-clock layer; wall time may reach
+ *                  stdout but never serialized JSON.
+ *   getenv         getenv outside the src/common/options.cc layer,
+ *                  the single audited environment boundary.
+ *   unordered-iter range-iteration (or begin() consumption) of an
+ *                  unordered container in any function reachable
+ *                  from the JSON/aggregation roots — hash order is
+ *                  not part of the determinism contract.
+ *   float-format   raw %f/%g/%e conversions, ostream<<double and
+ *                  std::to_string — doubles must go through the
+ *                  shortest-round-trip writer (jsonNumber).
+ *   thread-id      std::thread::id / this_thread::get_id and
+ *                  address-as-value (%p, pointer casts to integers)
+ *                  — host identities must never become data.
+ *   header-guard   canonical LLCF_<PATH>_HH guards on headers.
+ *   include        project headers quoted and resolvable in-tree,
+ *                  system headers in <>, no deprecated C headers.
+ *   doc-comment    public headers carry an @file block and each
+ *                  namespace-scope class/struct/enum definition a
+ *                  doc comment.
+ *   suppression    malformed or unjustified inline suppressions.
+ *
+ * Inline suppression:  // detlint: allow(<rule>) -- <justification>
+ * covers its own line and the next; the justification is mandatory.
+ * File-level allowances live in tools/detlint/detlint.conf.
+ *
+ * Everything here is a deliberately *textual* analysis: no compiler,
+ * no build, sub-second over the whole tree, and precise enough for
+ * the construct classes above (the fixture corpus in
+ * tests/detlint_fixtures/ pins both directions for every rule).
+ * clang-tidy runs beside it for the general C++ hygiene class; see
+ * scripts/run_static_analysis.sh.
+ */
+
+#ifndef LLCF_TOOLS_DETLINT_DETLINT_HH
+#define LLCF_TOOLS_DETLINT_DETLINT_HH
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace llcf::detlint {
+
+/** One rule violation at a source location. */
+struct Finding
+{
+    std::string path; //!< repo-relative, '/'-separated
+    int line = 0;     //!< 1-based
+    std::string rule;
+    std::string message;
+};
+
+/** A string literal's body (quotes stripped) and location. */
+struct StringLit
+{
+    int line = 0;
+    std::string text;
+};
+
+/** A comment's text (markers stripped) and line span. */
+struct Comment
+{
+    int line = 0;    //!< first line, 1-based
+    int endLine = 0; //!< last line, 1-based
+    std::string text;
+};
+
+/** An inline `detlint: allow(...)` suppression. */
+struct Suppression
+{
+    int line = 0;       //!< line the suppression covers first
+    std::string rule;   //!< one rule name per parsed entry
+    bool justified = false;
+    bool knownRule = false; //!< filled by the engine
+};
+
+/**
+ * A lexed source file: raw lines plus a "code view" with comments
+ * and string/char literal bodies blanked to spaces (so token rules
+ * never match inside prose), and the extracted literals, comments
+ * and suppressions.
+ */
+class SourceFile
+{
+  public:
+    /** Load and lex @p absPath; nullopt if unreadable. */
+    static std::optional<SourceFile> load(const std::string &absPath,
+                                          const std::string &relPath);
+
+    const std::string &rel() const { return rel_; }
+    bool isHeader() const;
+
+    const std::vector<std::string> &raw() const { return raw_; }
+    const std::vector<std::string> &code() const { return code_; }
+    const std::vector<StringLit> &strings() const { return strings_; }
+    const std::vector<Comment> &comments() const { return comments_; }
+    std::vector<Suppression> &suppressions() { return supps_; }
+    const std::vector<Suppression> &suppressions() const
+    {
+        return supps_;
+    }
+
+    /** True iff @p rule is suppressed at @p line (1-based). */
+    bool suppressed(const std::string &rule, int line) const;
+
+  private:
+    void lex(const std::string &text);
+    void parseSuppressions();
+
+    std::string rel_;
+    std::vector<std::string> raw_;
+    std::vector<std::string> code_;
+    std::vector<StringLit> strings_;
+    std::vector<Comment> comments_;
+    std::vector<Suppression> supps_;
+};
+
+/** Parsed tools/detlint/detlint.conf. */
+struct Config
+{
+    /** rule -> repo-relative path prefixes allowed to use it. */
+    std::multimap<std::string, std::string> allows;
+    /** Path prefixes excluded from analysis entirely. */
+    std::vector<std::string> excludes;
+    /** Extra unordered-iter root function names. */
+    std::set<std::string> rootFuncs;
+    /** Files whose every function is an unordered-iter root. */
+    std::vector<std::string> rootFiles;
+
+    /** Parse @p path; false + message on syntax errors. */
+    static std::optional<Config> load(const std::string &path,
+                                      std::string &error);
+
+    bool allowed(const std::string &rule, const std::string &rel) const;
+    bool excluded(const std::string &rel) const;
+};
+
+/** The canonical rule-name list (drives --list-rules and checks). */
+const std::vector<std::string> &ruleNames();
+
+/**
+ * Run every rule over @p relPaths (resolved against @p root).
+ * Findings are sorted by (path, line, rule) — detlint's own output
+ * obeys the determinism contract it enforces.
+ */
+std::vector<Finding> analyzeFiles(const std::string &root,
+                                  const std::vector<std::string> &relPaths,
+                                  const Config &cfg);
+
+// ------------------------------------------------------- shared helpers
+
+/** True iff @p word occurs in @p line with C identifier boundaries. */
+bool containsWord(const std::string &line, const std::string &word);
+
+/** All identifier-boundary occurrences' byte offsets. */
+std::vector<std::size_t> findWord(const std::string &line,
+                                  const std::string &word);
+
+} // namespace llcf::detlint
+
+#endif // LLCF_TOOLS_DETLINT_DETLINT_HH

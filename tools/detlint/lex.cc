@@ -1,0 +1,303 @@
+/**
+ * @file
+ * SourceFile loading and lexing for detlint.
+ *
+ * One hand-rolled scanner pass classifies every byte as code,
+ * comment, or string/char-literal body.  Rules then run over the
+ * "code view" (comments and literal bodies blanked to spaces, quotes
+ * kept) so identifier matches never fire inside prose, while the
+ * format-string rules get the collected literals and the suppression
+ * parser gets the collected comments.
+ */
+
+#include "detlint.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace llcf::detlint {
+
+namespace {
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+bool
+containsWord(const std::string &line, const std::string &word)
+{
+    return !findWord(line, word).empty();
+}
+
+std::vector<std::size_t>
+findWord(const std::string &line, const std::string &word)
+{
+    std::vector<std::size_t> out;
+    std::size_t pos = 0;
+    while ((pos = line.find(word, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !identChar(line[pos - 1]);
+        const std::size_t end = pos + word.size();
+        const bool right_ok = end >= line.size() || !identChar(line[end]);
+        if (left_ok && right_ok)
+            out.push_back(pos);
+        pos = end;
+    }
+    return out;
+}
+
+bool
+SourceFile::isHeader() const
+{
+    return rel_.size() >= 3 &&
+           rel_.compare(rel_.size() - 3, 3, ".hh") == 0;
+}
+
+std::optional<SourceFile>
+SourceFile::load(const std::string &absPath, const std::string &relPath)
+{
+    std::ifstream in(absPath, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    SourceFile f;
+    f.rel_ = relPath;
+    f.lex(ss.str());
+    f.parseSuppressions();
+    return f;
+}
+
+void
+SourceFile::lex(const std::string &text)
+{
+    // Raw lines by plain splitting; the state machine below only
+    // builds the code view (and must stay line-synchronized with
+    // this).
+    raw_.emplace_back();
+    for (char c : text) {
+        if (c == '\n')
+            raw_.emplace_back();
+        else
+            raw_.back() += c;
+    }
+
+    code_.emplace_back();
+
+    enum class St { Code, LineComment, BlockComment, Str, Chr, RawStr };
+    St st = St::Code;
+    std::string pending;     // current comment or literal body
+    int start_line = 1;      // where the pending run began
+    std::string raw_delim;   // raw-string delimiter, incl. ')'
+    bool escaped = false;
+
+    auto line_no = [&]() { return static_cast<int>(code_.size()); };
+
+    auto flush_comment = [&]() {
+        comments_.push_back({start_line, line_no(), pending});
+        pending.clear();
+    };
+    auto flush_string = [&]() {
+        strings_.push_back({start_line, pending});
+        pending.clear();
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n') {
+            if (st == St::LineComment) {
+                flush_comment();
+                st = St::Code;
+            }
+            if (st == St::Str && !escaped) // unterminated; recover
+                st = St::Code;
+            code_.emplace_back();
+            if (st == St::BlockComment || st == St::RawStr)
+                pending += '\n';
+            escaped = false;
+            continue;
+        }
+        switch (st) {
+          case St::Code:
+            if (c == '/' && n == '/') {
+                st = St::LineComment;
+                start_line = line_no();
+                code_.back() += "  ";
+                ++i;
+            } else if (c == '/' && n == '*') {
+                st = St::BlockComment;
+                start_line = line_no();
+                code_.back() += "  ";
+                ++i;
+            } else if (c == '"' && i >= 1 && text[i - 1] == 'R') {
+                st = St::RawStr;
+                start_line = line_no();
+                code_.back() += '"';
+                raw_delim = ")";
+                for (std::size_t j = i + 1;
+                     j < text.size() && text[j] != '('; ++j)
+                    raw_delim += text[j];
+                raw_delim += '"';
+                i += raw_delim.size() - 1; // skip delim + '('
+            } else if (c == '"') {
+                st = St::Str;
+                start_line = line_no();
+                escaped = false;
+                code_.back() += '"';
+            } else if (c == '\'') {
+                st = St::Chr;
+                escaped = false;
+                code_.back() += '\'';
+            } else {
+                code_.back() += c;
+            }
+            break;
+          case St::LineComment:
+            pending += c;
+            code_.back() += ' ';
+            break;
+          case St::BlockComment:
+            if (c == '*' && n == '/') {
+                flush_comment();
+                st = St::Code;
+                code_.back() += "  ";
+                ++i;
+            } else {
+                pending += c;
+                code_.back() += ' ';
+            }
+            break;
+          case St::Str:
+            if (escaped) {
+                pending += c;
+                code_.back() += ' ';
+                escaped = false;
+            } else if (c == '\\') {
+                pending += c;
+                code_.back() += ' ';
+                escaped = true;
+            } else if (c == '"') {
+                flush_string();
+                st = St::Code;
+                code_.back() += '"';
+            } else {
+                pending += c;
+                code_.back() += ' ';
+            }
+            break;
+          case St::Chr:
+            if (escaped) {
+                code_.back() += ' ';
+                escaped = false;
+            } else if (c == '\\') {
+                code_.back() += ' ';
+                escaped = true;
+            } else if (c == '\'') {
+                st = St::Code;
+                code_.back() += '\'';
+            } else {
+                code_.back() += ' ';
+            }
+            break;
+          case St::RawStr:
+            if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+                flush_string();
+                st = St::Code;
+                code_.back() += '"';
+                i += raw_delim.size() - 1;
+            } else {
+                pending += c;
+                code_.back() += ' ';
+            }
+            break;
+        }
+    }
+    if (st == St::LineComment || st == St::BlockComment)
+        flush_comment();
+    if (st == St::Str || st == St::RawStr)
+        flush_string();
+}
+
+void
+SourceFile::parseSuppressions()
+{
+    for (const Comment &c : comments_) {
+        std::size_t pos = 0;
+        while ((pos = c.text.find("detlint:", pos)) != std::string::npos) {
+            std::size_t p = pos + 8;
+            while (p < c.text.size() &&
+                   std::isspace(static_cast<unsigned char>(c.text[p])))
+                ++p;
+            if (c.text.compare(p, 6, "allow(") != 0) {
+                // "detlint:" without a well-formed allow(...) is
+                // itself reported, so typos cannot silently disable
+                // nothing.
+                supps_.push_back({c.endLine, "", false, false});
+                pos = p;
+                continue;
+            }
+            p += 6;
+            const std::size_t close = c.text.find(')', p);
+            if (close == std::string::npos) {
+                supps_.push_back({c.endLine, "", false, false});
+                break;
+            }
+            // Justification: " -- <non-empty>" after the ')'.
+            bool justified = false;
+            {
+                std::size_t q = close + 1;
+                while (q < c.text.size() &&
+                       std::isspace(
+                           static_cast<unsigned char>(c.text[q])))
+                    ++q;
+                if (c.text.compare(q, 2, "--") == 0) {
+                    q += 2;
+                    while (q < c.text.size() &&
+                           std::isspace(
+                               static_cast<unsigned char>(c.text[q])))
+                        ++q;
+                    justified = q < c.text.size();
+                }
+            }
+            // Comma-separated rule list.
+            std::string list = c.text.substr(p, close - p);
+            std::size_t b = 0;
+            while (b <= list.size()) {
+                std::size_t e = list.find(',', b);
+                if (e == std::string::npos)
+                    e = list.size();
+                std::string rule = list.substr(b, e - b);
+                const auto strip = [](std::string &s) {
+                    while (!s.empty() && std::isspace(static_cast<
+                                             unsigned char>(s.front())))
+                        s.erase(s.begin());
+                    while (!s.empty() && std::isspace(static_cast<
+                                             unsigned char>(s.back())))
+                        s.pop_back();
+                };
+                strip(rule);
+                supps_.push_back({c.endLine, rule, justified, false});
+                b = e + 1;
+            }
+            pos = close;
+        }
+    }
+}
+
+bool
+SourceFile::suppressed(const std::string &rule, int line) const
+{
+    for (const Suppression &s : supps_) {
+        if (s.rule == rule && s.justified && s.knownRule &&
+            (line == s.line || line == s.line + 1))
+            return true;
+    }
+    return false;
+}
+
+} // namespace llcf::detlint

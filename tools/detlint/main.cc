@@ -1,0 +1,117 @@
+/**
+ * @file
+ * detlint command-line driver.
+ *
+ * Usage:
+ *   detlint [--root=DIR] [--config=FILE] [--list-rules] [paths...]
+ *
+ * Paths (files or directories; default: src bench tests) are
+ * resolved against --root (default: the current directory).  The
+ * config defaults to <root>/tools/detlint/detlint.conf when present.
+ * Exit status: 0 clean, 1 findings, 2 usage/config error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "detlint.hh"
+
+namespace fs = std::filesystem;
+using namespace llcf::detlint;
+
+namespace {
+
+/** Collect .cc/.hh files under @p path (repo-relative), sorted. */
+void
+collect(const fs::path &root, const std::string &rel,
+        std::vector<std::string> &out)
+{
+    const fs::path abs = root / rel;
+    if (fs::is_regular_file(abs)) {
+        out.push_back(rel);
+        return;
+    }
+    if (!fs::is_directory(abs))
+        return;
+    for (const auto &e : fs::recursive_directory_iterator(abs)) {
+        if (!e.is_regular_file())
+            continue;
+        const std::string ext = e.path().extension().string();
+        if (ext != ".cc" && ext != ".hh")
+            continue;
+        out.push_back(
+            fs::relative(e.path(), root).generic_string());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string config_path;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--root=", 0) == 0) {
+            root = a.substr(7);
+        } else if (a.rfind("--config=", 0) == 0) {
+            config_path = a.substr(9);
+        } else if (a == "--list-rules") {
+            for (const std::string &r : ruleNames())
+                std::printf("%s\n", r.c_str());
+            return 0;
+        } else if (a.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "detlint: unknown option %s\n",
+                         a.c_str());
+            return 2;
+        } else {
+            paths.push_back(a);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "bench", "tests"};
+    if (config_path.empty()) {
+        const fs::path def =
+            fs::path(root) / "tools/detlint/detlint.conf";
+        if (fs::exists(def))
+            config_path = def.string();
+    }
+
+    Config cfg;
+    if (!config_path.empty()) {
+        std::string err;
+        auto loaded = Config::load(config_path, err);
+        if (!loaded) {
+            std::fprintf(stderr, "detlint: %s\n", err.c_str());
+            return 2;
+        }
+        cfg = std::move(*loaded);
+    }
+
+    std::vector<std::string> files;
+    for (const std::string &p : paths)
+        collect(root, p, files);
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    if (files.empty()) {
+        std::fprintf(stderr, "detlint: no .cc/.hh files under the "
+                             "given paths\n");
+        return 2;
+    }
+
+    const std::vector<Finding> findings =
+        analyzeFiles(root, files, cfg);
+    for (const Finding &f : findings) {
+        std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+    }
+    std::printf("detlint: %zu finding(s) in %zu file(s)\n",
+                findings.size(), files.size());
+    return findings.empty() ? 0 : 1;
+}

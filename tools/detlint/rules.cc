@@ -1,0 +1,477 @@
+/**
+ * @file
+ * detlint's per-file pattern rules and the analysis driver.
+ *
+ * Each pattern rule scans the lexed code view (identifier matches
+ * with word boundaries, so `strand` never trips `rand`) or the
+ * collected string literals (format conversions).  The structural
+ * rules that need a token stream — doc-comment coverage and the
+ * call-graph-driven unordered-iter rule — live in structure.cc.
+ */
+
+#include "detlint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <tuple>
+
+namespace llcf::detlint {
+
+// Implemented in structure.cc.
+void runStructureRules(std::vector<SourceFile> &files, const Config &cfg,
+                       std::vector<Finding> &out);
+
+const std::vector<std::string> &
+ruleNames()
+{
+    static const std::vector<std::string> names = {
+        "rand",         "wallclock",    "getenv",
+        "unordered-iter", "float-format", "thread-id",
+        "header-guard", "include",      "doc-comment",
+        "suppression",
+    };
+    return names;
+}
+
+namespace {
+
+struct WordRule
+{
+    const char *rule;
+    const char *word;
+    const char *message;
+};
+
+// One entry per banned identifier.  Each match is one finding.
+const WordRule kWordRules[] = {
+    {"rand", "rand",
+     "std::rand is not seedable per trial; use the positional "
+     "llcf::Rng streams"},
+    {"rand", "srand",
+     "srand seeds process-global state; use llcf::Rng::forStream"},
+    {"rand", "drand48",
+     "drand48 is process-global; use the positional llcf::Rng streams"},
+    {"rand", "random_device",
+     "std::random_device is nondeterministic by design; derive "
+     "streams from the experiment seed instead"},
+    {"wallclock", "system_clock",
+     "wall-clock reads are banned outside the allowlisted layer; "
+     "simulated time is Machine::now()"},
+    {"wallclock", "steady_clock",
+     "wall-clock reads are banned outside the allowlisted layer; "
+     "simulated time is Machine::now()"},
+    {"wallclock", "high_resolution_clock",
+     "wall-clock reads are banned outside the allowlisted layer; "
+     "simulated time is Machine::now()"},
+    {"wallclock", "gettimeofday",
+     "wall-clock reads are banned outside the allowlisted layer"},
+    {"wallclock", "clock_gettime",
+     "wall-clock reads are banned outside the allowlisted layer"},
+    {"wallclock", "timespec_get",
+     "wall-clock reads are banned outside the allowlisted layer"},
+    {"getenv", "getenv",
+     "environment reads must go through the src/common/options.cc "
+     "layer (the single audited getenv site)"},
+    {"getenv", "secure_getenv",
+     "environment reads must go through the src/common/options.cc "
+     "layer (the single audited getenv site)"},
+    {"float-format", "setprecision",
+     "manual stream precision bypasses the shortest-round-trip "
+     "writer; use jsonNumber()"},
+    {"thread-id", "get_id",
+     "thread identities are host-run artifacts and must never "
+     "become data"},
+};
+
+void
+wordRules(const SourceFile &f, std::vector<Finding> &out)
+{
+    const auto &code = f.code();
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        for (const WordRule &r : kWordRules) {
+            for (std::size_t pos : findWord(code[i], r.word)) {
+                (void)pos;
+                out.push_back({f.rel(), static_cast<int>(i) + 1,
+                               r.rule, r.message});
+            }
+        }
+        // std::thread::id as a type (get_id() catches the reads).
+        if (code[i].find("thread::id") != std::string::npos) {
+            out.push_back({f.rel(), static_cast<int>(i) + 1,
+                           "thread-id",
+                           "std::thread::id is a host-run artifact "
+                           "and must never become data"});
+        }
+    }
+}
+
+/**
+ * %-conversion scan over real string literals: %f/%e/%g/%a bypass
+ * the shortest-round-trip writer, %p serializes an address.
+ */
+void
+formatStringRules(const SourceFile &f, std::vector<Finding> &out)
+{
+    for (const StringLit &s : f.strings()) {
+        // A literal on a scanf-family line is a *parse* format;
+        // %lf there reads bytes, it cannot emit them.
+        if (s.line >= 1 &&
+            s.line <= static_cast<int>(f.code().size()) &&
+            f.code()[s.line - 1].find("scanf") != std::string::npos)
+            continue;
+        for (std::size_t i = 0; i + 1 < s.text.size(); ++i) {
+            if (s.text[i] != '%')
+                continue;
+            std::size_t j = i + 1;
+            if (s.text[j] == '%') { // literal percent
+                i = j;
+                continue;
+            }
+            while (j < s.text.size() &&
+                   (std::strchr("-+ #0123456789.*", s.text[j]) ||
+                    std::strchr("hlLqjzt", s.text[j])))
+                ++j;
+            if (j >= s.text.size())
+                break;
+            const char conv = s.text[j];
+            if (std::strchr("fFeEgGaA", conv)) {
+                out.push_back({f.rel(), s.line, "float-format",
+                               std::string("raw %") + conv +
+                                   " conversion bypasses the "
+                                   "shortest-round-trip writer "
+                                   "(jsonNumber)"});
+            } else if (conv == 'p') {
+                out.push_back({f.rel(), s.line, "thread-id",
+                               "%p serializes a host address; "
+                               "addresses are not data"});
+            }
+            i = j;
+        }
+    }
+}
+
+/**
+ * ostream << of a floating value.  Shifting by a double is ill-formed
+ * C++, so `<< <float-literal>` and `<< <double-typed identifier>` can
+ * only be stream insertions; the double-typed set is collected from
+ * this file's declarations.
+ */
+void
+streamDoubleRule(const SourceFile &f, std::vector<Finding> &out)
+{
+    std::vector<std::string> doubles;
+    const auto &code = f.code();
+    for (const std::string &line : code) {
+        for (const char *ty : {"double", "float"}) {
+            for (std::size_t pos : findWord(line, ty)) {
+                std::size_t p = pos + std::string(ty).size();
+                while (p < line.size() &&
+                       std::isspace(static_cast<unsigned char>(
+                           line[p])))
+                    ++p;
+                std::size_t e = p;
+                while (e < line.size() &&
+                       (std::isalnum(static_cast<unsigned char>(
+                            line[e])) ||
+                        line[e] == '_'))
+                    ++e;
+                if (e > p)
+                    doubles.push_back(line.substr(p, e - p));
+            }
+        }
+    }
+    std::sort(doubles.begin(), doubles.end());
+    doubles.erase(std::unique(doubles.begin(), doubles.end()),
+                  doubles.end());
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const std::string &line = code[i];
+        for (std::size_t pos = line.find("<<"); pos != std::string::npos;
+             pos = line.find("<<", pos + 2)) {
+            if (pos + 2 < line.size() && line[pos + 2] == '<')
+                continue; // <<< — not an insertion
+            if (pos > 0 && line[pos - 1] == '<')
+                continue;
+            std::size_t p = pos + 2;
+            while (p < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[p])))
+                ++p;
+            std::size_t e = p;
+            while (e < line.size() &&
+                   (std::isalnum(
+                        static_cast<unsigned char>(line[e])) ||
+                    line[e] == '_' || line[e] == '.'))
+                ++e;
+            if (e == p)
+                continue;
+            const std::string tok = line.substr(p, e - p);
+            const bool float_lit =
+                std::isdigit(static_cast<unsigned char>(tok[0])) &&
+                tok.find('.') != std::string::npos;
+            const bool double_var =
+                std::binary_search(doubles.begin(), doubles.end(), tok);
+            if (float_lit || double_var) {
+                out.push_back(
+                    {f.rel(), static_cast<int>(i) + 1, "float-format",
+                     "ostream<<double ('" + tok +
+                         "') bypasses the shortest-round-trip "
+                         "writer; use jsonNumber()"});
+            }
+        }
+        // std::to_string of a floating value (integers are exact and
+        // locale-free; doubles are %f-lossy and must use
+        // jsonNumber()).
+        for (std::size_t pos : findWord(line, "to_string")) {
+            std::size_t p = pos + 9;
+            while (p < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[p])))
+                ++p;
+            if (p >= line.size() || line[p] != '(')
+                continue;
+            ++p;
+            while (p < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[p])))
+                ++p;
+            std::size_t e = p;
+            while (e < line.size() &&
+                   (std::isalnum(
+                        static_cast<unsigned char>(line[e])) ||
+                    line[e] == '_' || line[e] == '.'))
+                ++e;
+            if (e == p)
+                continue;
+            const std::string tok = line.substr(p, e - p);
+            const bool float_lit =
+                std::isdigit(static_cast<unsigned char>(tok[0])) &&
+                tok.find('.') != std::string::npos;
+            if (float_lit ||
+                std::binary_search(doubles.begin(), doubles.end(),
+                                   tok)) {
+                out.push_back(
+                    {f.rel(), static_cast<int>(i) + 1, "float-format",
+                     "std::to_string of a floating value ('" + tok +
+                         "') is %f-lossy; use jsonNumber()"});
+            }
+        }
+    }
+}
+
+std::string
+expectedGuard(const std::string &rel)
+{
+    std::string p = rel;
+    if (p.rfind("src/", 0) == 0)
+        p = p.substr(4);
+    std::string g = "LLCF_";
+    for (char c : p) {
+        if (c == '/' || c == '.')
+            g += '_';
+        else
+            g += static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+    }
+    return g;
+}
+
+void
+headerGuardRule(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!f.isHeader())
+        return;
+    const std::string want = expectedGuard(f.rel());
+    const auto &code = f.code();
+
+    int ifndef_line = -1, define_line = -1, endif_line = -1;
+    std::string ifndef_sym, define_sym;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        std::string t = code[i];
+        const std::size_t ns = t.find_first_not_of(" \t");
+        if (ns == std::string::npos || t[ns] != '#')
+            continue;
+        std::istringstream ss(t.substr(ns + 1));
+        std::string d, sym;
+        ss >> d >> sym;
+        if (d == "ifndef" && ifndef_line < 0) {
+            ifndef_line = static_cast<int>(i) + 1;
+            ifndef_sym = sym;
+        } else if (d == "define" && define_line < 0 &&
+                   ifndef_line >= 0) {
+            define_line = static_cast<int>(i) + 1;
+            define_sym = sym;
+        } else if (d == "endif") {
+            endif_line = static_cast<int>(i) + 1;
+        }
+    }
+    if (ifndef_line < 0 || define_line < 0 || endif_line < 0) {
+        out.push_back({f.rel(), 1, "header-guard",
+                       "missing #ifndef/#define/#endif include guard "
+                       "(want " + want + ")"});
+        return;
+    }
+    if (ifndef_sym != want || define_sym != want) {
+        out.push_back({f.rel(), ifndef_line, "header-guard",
+                       "guard '" + ifndef_sym +
+                           "' does not match the canonical '" + want +
+                           "'"});
+    }
+    // The closing #endif carries the guard name as a comment.
+    const std::string &raw_end = f.raw()[endif_line - 1];
+    if (raw_end.find("// " + want) == std::string::npos) {
+        out.push_back({f.rel(), endif_line, "header-guard",
+                       "closing #endif must carry '// " + want + "'"});
+    }
+}
+
+// C compatibility headers with <cXXX> replacements.
+const char *const kCompatHeaders[] = {
+    "assert.h", "ctype.h",  "errno.h",  "float.h",  "inttypes.h",
+    "limits.h", "math.h",   "signal.h", "stdarg.h", "stddef.h",
+    "stdint.h", "stdio.h",  "stdlib.h", "string.h", "time.h",
+};
+
+void
+includeRule(const std::string &root, const SourceFile &f,
+            std::vector<Finding> &out)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::path(root) / fs::path(f.rel()).parent_path();
+    const auto &code = f.code();
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        // Detect the directive on the code view (so commented-out
+        // includes never match) but read the target from the raw
+        // line: quoted paths are string literals, blanked in the
+        // code view.
+        std::size_t p = code[i].find_first_not_of(" \t");
+        if (p == std::string::npos || code[i][p] != '#')
+            continue;
+        std::size_t inc = code[i].find("include", p);
+        if (inc == std::string::npos)
+            continue;
+        const std::string &line = f.raw()[i];
+        std::size_t open = line.find_first_of("\"<", inc);
+        if (open == std::string::npos)
+            continue;
+        const char close_c = line[open] == '<' ? '>' : '"';
+        std::size_t close = line.find(close_c, open + 1);
+        if (close == std::string::npos)
+            continue;
+        const std::string target =
+            line.substr(open + 1, close - open - 1);
+        const int ln = static_cast<int>(i) + 1;
+
+        const bool in_tree =
+            fs::exists(dir / target) ||
+            fs::exists(fs::path(root) / "src" / target) ||
+            fs::exists(fs::path(root) / "bench" / target) ||
+            fs::exists(fs::path(root) / "tools/detlint" / target);
+        if (close_c == '"') {
+            if (!in_tree) {
+                out.push_back({f.rel(), ln, "include",
+                               "quoted include \"" + target +
+                                   "\" does not resolve in-tree; "
+                                   "system headers use <>"});
+            }
+        } else {
+            if (in_tree) {
+                out.push_back({f.rel(), ln, "include",
+                               "project header <" + target +
+                                   "> must be included with quotes"});
+            }
+            for (const char *compat : kCompatHeaders) {
+                if (target == compat) {
+                    out.push_back(
+                        {f.rel(), ln, "include",
+                         "deprecated C header <" + target +
+                             ">; use the <c...> equivalent"});
+                }
+            }
+        }
+    }
+}
+
+/** Malformed / unknown-rule / unjustified suppressions. */
+void
+suppressionRule(SourceFile &f, std::vector<Finding> &out)
+{
+    const auto &rules = ruleNames();
+    for (Suppression &s : f.suppressions()) {
+        s.knownRule = std::find(rules.begin(), rules.end(), s.rule) !=
+                      rules.end();
+        if (s.rule.empty()) {
+            out.push_back({f.rel(), s.line, "suppression",
+                           "malformed suppression; the form is "
+                           "'detlint: allow(<rule>) -- "
+                           "<justification>'"});
+        } else if (!s.knownRule) {
+            out.push_back({f.rel(), s.line, "suppression",
+                           "unknown rule '" + s.rule +
+                               "' in suppression"});
+        } else if (!s.justified) {
+            out.push_back({f.rel(), s.line, "suppression",
+                           "suppression of '" + s.rule +
+                               "' lacks the mandatory '-- "
+                               "<justification>'"});
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Finding>
+analyzeFiles(const std::string &root,
+             const std::vector<std::string> &relPaths, const Config &cfg)
+{
+    std::vector<SourceFile> files;
+    std::vector<Finding> out;
+    for (const std::string &rel : relPaths) {
+        if (cfg.excluded(rel))
+            continue;
+        auto f = SourceFile::load(root + "/" + rel, rel);
+        if (!f) {
+            out.push_back({rel, 0, "include", "cannot read file"});
+            continue;
+        }
+        files.push_back(std::move(*f));
+    }
+
+    for (SourceFile &f : files) {
+        // Suppressions first: it marks which are well-formed, which
+        // suppressed() consults for every later rule.
+        suppressionRule(f, out);
+        wordRules(f, out);
+        formatStringRules(f, out);
+        streamDoubleRule(f, out);
+        headerGuardRule(f, out);
+        includeRule(root, f, out);
+    }
+    runStructureRules(files, cfg, out);
+
+    // Drop findings covered by a file allowance or a justified
+    // inline suppression ("suppression" findings are never
+    // suppressible — a broken suppression must always surface).
+    std::vector<Finding> kept;
+    for (Finding &fi : out) {
+        if (fi.rule != "suppression") {
+            if (cfg.allowed(fi.rule, fi.path))
+                continue;
+            const auto it = std::find_if(
+                files.begin(), files.end(), [&](const SourceFile &sf) {
+                    return sf.rel() == fi.path;
+                });
+            if (it != files.end() && it->suppressed(fi.rule, fi.line))
+                continue;
+        }
+        kept.push_back(std::move(fi));
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.path, a.line, a.rule, a.message) <
+                         std::tie(b.path, b.line, b.rule, b.message);
+              });
+    return kept;
+}
+
+} // namespace llcf::detlint

@@ -1,0 +1,543 @@
+/**
+ * @file
+ * detlint's structural rules: doc-comment coverage and the
+ * call-graph-driven unordered-iteration rule.
+ *
+ * A lightweight tokenizer runs over each file's code view, and a
+ * scope-tracking pass recognizes namespace/class/function braces the
+ * way the house style writes them (no compiler, so the parse is
+ * heuristic — the fixture corpus pins the constructs it must get
+ * right).  From that one pass we collect:
+ *
+ *  - namespace-scope type definitions (doc-comment rule, headers),
+ *  - function definitions with their callee reference sets
+ *    (name-collapsed call graph),
+ *  - unordered-container variable declarations (including class
+ *    members, so `setStreams_`-style fields are tracked across the
+ *    whole analysis), and
+ *  - iteration sites over those variables (range-for and
+ *    begin()/cbegin() consumption).
+ *
+ * The unordered-iter rule then walks the call graph from the
+ * JSON/aggregation roots (config `rootfile`/`root` entries plus any
+ * function whose body references JsonWriter) and reports iteration
+ * sites only in reachable functions: hash order must never feed
+ * serialized bytes, while a lookup-only map or an iteration on a
+ * cold diagnostic path is fine.
+ */
+
+#include "detlint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace llcf::detlint {
+
+namespace {
+
+struct Token
+{
+    std::string text;
+    int line = 0;
+    bool ident = false;
+};
+
+std::vector<Token>
+tokenize(const SourceFile &f)
+{
+    std::vector<Token> toks;
+    const auto &code = f.code();
+    for (std::size_t li = 0; li < code.size(); ++li) {
+        const std::string &s = code[li];
+        const int line = static_cast<int>(li) + 1;
+        // Preprocessor directives are not statements; letting them
+        // into the token stream would glue `#if COND` onto the next
+        // declaration's statement window.
+        const std::size_t nb = s.find_first_not_of(" \t");
+        if (nb != std::string::npos && s[nb] == '#')
+            continue;
+        for (std::size_t i = 0; i < s.size();) {
+            const unsigned char c = static_cast<unsigned char>(s[i]);
+            if (std::isspace(c)) {
+                ++i;
+            } else if (std::isalpha(c) || s[i] == '_') {
+                std::size_t e = i + 1;
+                while (e < s.size() &&
+                       (std::isalnum(static_cast<unsigned char>(
+                            s[e])) ||
+                        s[e] == '_'))
+                    ++e;
+                toks.push_back({s.substr(i, e - i), line, true});
+                i = e;
+            } else if (std::isdigit(c)) {
+                std::size_t e = i + 1;
+                while (e < s.size() &&
+                       (std::isalnum(static_cast<unsigned char>(
+                            s[e])) ||
+                        s[e] == '.' || s[e] == '\''))
+                    ++e;
+                toks.push_back({s.substr(i, e - i), line, false});
+                i = e;
+            } else if (s[i] == ':' && i + 1 < s.size() &&
+                       s[i + 1] == ':') {
+                toks.push_back({"::", line, false});
+                i += 2;
+            } else if (s[i] == '-' && i + 1 < s.size() &&
+                       s[i + 1] == '>') {
+                toks.push_back({"->", line, false});
+                i += 2;
+            } else {
+                toks.push_back({std::string(1, s[i]), line, false});
+                ++i;
+            }
+        }
+    }
+    return toks;
+}
+
+bool
+isKeyword(const std::string &t)
+{
+    static const std::set<std::string> kw = {
+        "if",     "for",      "while",   "switch", "catch",
+        "return", "sizeof",   "alignof", "new",    "delete",
+        "co_await", "co_return", "co_yield", "throw",
+    };
+    return kw.count(t) != 0;
+}
+
+const std::set<std::string> &
+unorderedTypes()
+{
+    static const std::set<std::string> tys = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset",
+    };
+    return tys;
+}
+
+struct IterSite
+{
+    int line = 0;
+    std::string var;
+};
+
+struct FunctionInfo
+{
+    std::string name; //!< simple name (qualifiers stripped)
+    std::string file;
+    int line = 0;
+    bool root = false;
+    std::set<std::string> callees;
+    std::vector<IterSite> sites;
+};
+
+enum class ScopeKind { Namespace, Type, Function, Other };
+
+struct FileStructure
+{
+    std::vector<FunctionInfo> functions;
+    /** Namespace-scope type definitions: (introLine, keywordLine). */
+    std::vector<std::pair<int, int>> typeDefs;
+    /** Namespace-scope function decl/def intro lines (headers). */
+    std::vector<std::pair<int, int>> funcDecls;
+};
+
+/**
+ * One scope-tracking pass over the token stream.  @p unorderedVars
+ * accumulates container variable names across all files (two passes
+ * over the file list let members declared in headers be seen by
+ * iteration sites in .cc files).
+ */
+FileStructure
+parseFile(const SourceFile &f, std::set<std::string> &unorderedVars,
+          bool collectOnly)
+{
+    FileStructure fs;
+    const std::vector<Token> toks = tokenize(f);
+    std::vector<ScopeKind> scopes;
+    int paren_depth = 0;
+
+    // Statement window: tokens since the last ; { } at paren depth 0.
+    std::size_t stmt_begin = 0;
+    // Current innermost function (index into fs.functions) per
+    // function-scope nesting.
+    std::vector<std::size_t> func_stack;
+    int template_line = -1; // pending template<...> intro
+
+    auto at_namespace_scope = [&]() {
+        for (ScopeKind k : scopes) {
+            if (k != ScopeKind::Namespace)
+                return false;
+        }
+        return true;
+    };
+
+    auto stmt_intro_line = [&](int decl_line) {
+        return template_line >= 0 ? template_line : decl_line;
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+
+        // ---------------------------------------- declarations
+        if (t.ident && unorderedTypes().count(t.text)) {
+            // unordered_xxx < ... > name
+            std::size_t j = i + 1;
+            if (j < toks.size() && toks[j].text == "<") {
+                int depth = 0;
+                for (; j < toks.size(); ++j) {
+                    if (toks[j].text == "<")
+                        ++depth;
+                    else if (toks[j].text == ">" && --depth == 0)
+                        break;
+                }
+                ++j;
+                if (j < toks.size() && toks[j].ident &&
+                    !isKeyword(toks[j].text))
+                    unorderedVars.insert(toks[j].text);
+            }
+        }
+        if (collectOnly)
+            continue;
+
+        // ------------------------------------------ iteration sites
+        if (!func_stack.empty()) {
+            FunctionInfo &fn = fs.functions[func_stack.back()];
+            if (t.ident && t.text == "JsonWriter")
+                fn.root = true;
+            if (t.ident && !isKeyword(t.text) && i + 1 < toks.size() &&
+                toks[i + 1].text == "(") {
+                fn.callees.insert(t.text);
+            }
+            if (t.text == "for" && i + 1 < toks.size() &&
+                toks[i + 1].text == "(") {
+                // range-for: find the top-level ':' inside the parens
+                int depth = 0;
+                std::size_t colon = 0, close = 0;
+                for (std::size_t j = i + 1; j < toks.size(); ++j) {
+                    if (toks[j].text == "(") {
+                        ++depth;
+                    } else if (toks[j].text == ")") {
+                        if (--depth == 0) {
+                            close = j;
+                            break;
+                        }
+                    } else if (toks[j].text == ":" && depth == 1 &&
+                               !colon) {
+                        colon = j;
+                    }
+                }
+                if (colon && close) {
+                    for (std::size_t j = colon + 1; j < close; ++j) {
+                        if (toks[j].ident &&
+                            unorderedVars.count(toks[j].text)) {
+                            fn.sites.push_back(
+                                {toks[j].line, toks[j].text});
+                        }
+                    }
+                }
+            }
+            if (t.ident && unorderedVars.count(t.text) &&
+                i + 2 < toks.size() &&
+                (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+                (toks[i + 2].text == "begin" ||
+                 toks[i + 2].text == "cbegin")) {
+                fn.sites.push_back({t.line, t.text});
+            }
+        }
+
+        // --------------------------------------------- scope walk
+        if (t.text == "(") {
+            ++paren_depth;
+            continue;
+        }
+        if (t.text == ")") {
+            --paren_depth;
+            continue;
+        }
+        if (paren_depth > 0)
+            continue;
+
+        if (t.ident && t.text == "template") {
+            template_line = t.line;
+            // skip the parameter list
+            std::size_t j = i + 1;
+            if (j < toks.size() && toks[j].text == "<") {
+                int depth = 0;
+                for (; j < toks.size(); ++j) {
+                    if (toks[j].text == "<")
+                        ++depth;
+                    else if (toks[j].text == ">" && --depth == 0)
+                        break;
+                }
+                i = j;
+            }
+            continue;
+        }
+
+        if (t.text == ";" || t.text == "}") {
+            if (t.text == ";" && f.isHeader() && at_namespace_scope() &&
+                i > stmt_begin) {
+                // Free-function declaration: ident '(' ... ')' ';'
+                // with no top-level '=' (that is an initializer) and
+                // not a typedef/using/macro-ish statement.
+                const std::string &first = toks[stmt_begin].text;
+                const bool skip_stmt =
+                    first == "typedef" || first == "using" ||
+                    first == "friend" || first == "static_assert" ||
+                    first == "extern";
+                std::size_t eq_pos = i;
+                for (std::size_t j = stmt_begin; j < i; ++j) {
+                    if (toks[j].text == "=" &&
+                        (j == stmt_begin ||
+                         toks[j - 1].text != "operator")) {
+                        eq_pos = j;
+                        break;
+                    }
+                }
+                for (std::size_t j = stmt_begin;
+                     !skip_stmt && j + 1 < i && j < eq_pos; ++j) {
+                    if (toks[j].ident && !isKeyword(toks[j].text) &&
+                        toks[j + 1].text == "(" &&
+                        (j == stmt_begin ||
+                         toks[j - 1].text != "operator")) {
+                        const std::string &nm = toks[j].text;
+                        const bool all_caps =
+                            std::none_of(nm.begin(), nm.end(),
+                                         [](unsigned char ch) {
+                                             return std::islower(ch);
+                                         });
+                        const bool has_type_before = j > stmt_begin;
+                        if (!all_caps && has_type_before) {
+                            fs.funcDecls.emplace_back(
+                                stmt_intro_line(toks[stmt_begin].line),
+                                toks[j].line);
+                        }
+                        break;
+                    }
+                }
+            }
+            if (t.text == "}") {
+                if (!scopes.empty()) {
+                    if (scopes.back() == ScopeKind::Function &&
+                        !func_stack.empty())
+                        func_stack.pop_back();
+                    scopes.pop_back();
+                }
+            }
+            stmt_begin = i + 1;
+            template_line = -1;
+            continue;
+        }
+
+        if (t.text != "{")
+            continue;
+
+        // Classify this brace from the statement tokens before it.
+        ScopeKind kind = ScopeKind::Other;
+        std::string fn_name;
+        int decl_line = t.line;
+        int kw_line = -1, intro_line = -1;
+        bool saw_type_kw = false, saw_namespace = false;
+        bool control = false;
+        int eq_at_top = 0;
+        std::size_t first_paren = 0;
+
+        for (std::size_t j = stmt_begin; j < i; ++j) {
+            const std::string &x = toks[j].text;
+            if (x == "namespace")
+                saw_namespace = true;
+            if ((x == "class" || x == "struct" || x == "enum" ||
+                 x == "union") &&
+                !saw_type_kw) {
+                saw_type_kw = true;
+                kw_line = toks[j].line;
+            }
+            if (isKeyword(x) && x != "return")
+                control = true;
+            if (x == "=" &&
+                (j == stmt_begin || toks[j - 1].text != "operator"))
+                ++eq_at_top;
+            if (x == "(" && !first_paren)
+                first_paren = j;
+            if (x == ")" && first_paren &&
+                j > first_paren) { /* keep */
+            }
+        }
+
+        if (saw_namespace) {
+            kind = ScopeKind::Namespace;
+        } else if (saw_type_kw) {
+            kind = ScopeKind::Type;
+            if (f.isHeader() && at_namespace_scope()) {
+                fs.typeDefs.emplace_back(
+                    stmt_intro_line(kw_line), kw_line);
+            }
+        } else if (!control && eq_at_top == 0 && first_paren &&
+                   first_paren > stmt_begin &&
+                   toks[first_paren - 1].ident &&
+                   !isKeyword(toks[first_paren - 1].text)) {
+            kind = ScopeKind::Function;
+            fn_name = toks[first_paren - 1].text;
+            decl_line = toks[first_paren - 1].line;
+        }
+
+        if (kind == ScopeKind::Function) {
+            FunctionInfo fn;
+            fn.name = fn_name;
+            fn.file = f.rel();
+            fn.line = decl_line;
+            fs.functions.push_back(std::move(fn));
+            func_stack.push_back(fs.functions.size() - 1);
+            if (f.isHeader() && at_namespace_scope()) {
+                intro_line = stmt_intro_line(toks[stmt_begin].line);
+                fs.funcDecls.emplace_back(intro_line, decl_line);
+            }
+        }
+        scopes.push_back(kind);
+        stmt_begin = i + 1;
+        template_line = -1;
+    }
+    return fs;
+}
+
+/** True iff a doc comment ends on the line directly above @p line. */
+bool
+hasDocAbove(const SourceFile &f, int line)
+{
+    for (const Comment &c : f.comments()) {
+        if (c.endLine == line - 1)
+            return true;
+    }
+    return false;
+}
+
+void
+docCommentRule(const SourceFile &f, const FileStructure &fs,
+               std::vector<Finding> &out)
+{
+    if (!f.isHeader())
+        return;
+    // (a) the @file block, before any code.
+    bool has_file_doc = false;
+    for (const Comment &c : f.comments()) {
+        if (c.text.find("@file") != std::string::npos) {
+            has_file_doc = true;
+            break;
+        }
+    }
+    if (!has_file_doc) {
+        out.push_back({f.rel(), 1, "doc-comment",
+                       "public header lacks a /** @file */ block"});
+    }
+    // (b) namespace-scope type definitions.
+    for (const auto &[intro, kw] : fs.typeDefs) {
+        if (!hasDocAbove(f, intro)) {
+            out.push_back({f.rel(), kw, "doc-comment",
+                           "namespace-scope type definition lacks a "
+                           "doc comment"});
+        }
+    }
+    // (c) namespace-scope function declarations.
+    for (const auto &[intro, decl] : fs.funcDecls) {
+        if (!hasDocAbove(f, intro)) {
+            out.push_back({f.rel(), decl, "doc-comment",
+                           "public function declaration lacks a doc "
+                           "comment"});
+        }
+    }
+}
+
+} // namespace
+
+void runStructureRules(std::vector<SourceFile> &files, const Config &cfg,
+                       std::vector<Finding> &out);
+
+void
+runStructureRules(std::vector<SourceFile> &files, const Config &cfg,
+                  std::vector<Finding> &out)
+{
+    // Pass 1: every unordered-container variable/member name, across
+    // all files, so sites in .cc files see members from headers.
+    std::set<std::string> unordered_vars;
+    for (const SourceFile &f : files)
+        parseFile(f, unordered_vars, /*collectOnly=*/true);
+
+    // Pass 2: structure, functions, sites.
+    std::vector<FileStructure> structures;
+    structures.reserve(files.size());
+    for (const SourceFile &f : files)
+        structures.push_back(
+            parseFile(f, unordered_vars, /*collectOnly=*/false));
+
+    for (std::size_t i = 0; i < files.size(); ++i)
+        docCommentRule(files[i], structures[i], out);
+
+    // ------------------------------------------- unordered-iter
+    // Roots: config rootfiles/root names + JsonWriter references.
+    std::map<std::string, std::vector<const FunctionInfo *>> by_name;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        for (const FunctionInfo &fn : structures[i].functions)
+            by_name[fn.name].push_back(&fn);
+    }
+
+    // reachable name -> root provenance
+    std::map<std::string, std::string> reachable;
+    std::vector<std::string> work;
+    for (const auto &[name, fns] : by_name) {
+        bool is_root = cfg.rootFuncs.count(name) != 0;
+        for (const FunctionInfo *fn : fns) {
+            if (fn->root)
+                is_root = true;
+            for (const std::string &rf : cfg.rootFiles) {
+                if (fn->file == rf ||
+                    (fn->file.size() > rf.size() &&
+                     fn->file.compare(0, rf.size(), rf) == 0 &&
+                     fn->file[rf.size()] == '/'))
+                    is_root = true;
+            }
+        }
+        if (is_root) {
+            reachable[name] = name;
+            work.push_back(name);
+        }
+    }
+    while (!work.empty()) {
+        const std::string name = work.back();
+        work.pop_back();
+        const auto it = by_name.find(name);
+        if (it == by_name.end())
+            continue;
+        for (const FunctionInfo *fn : it->second) {
+            for (const std::string &callee : fn->callees) {
+                if (!by_name.count(callee) || reachable.count(callee))
+                    continue;
+                reachable[callee] = reachable[name];
+                work.push_back(callee);
+            }
+        }
+    }
+
+    for (const auto &fss : structures) {
+        for (const FunctionInfo &fn : fss.functions) {
+            const auto it = reachable.find(fn.name);
+            if (it == reachable.end())
+                continue;
+            for (const IterSite &site : fn.sites) {
+                out.push_back(
+                    {fn.file, site.line, "unordered-iter",
+                     "iteration over unordered container '" +
+                         site.var + "' in '" + fn.name +
+                         "' (reachable from JSON/aggregation root '" +
+                         it->second +
+                         "'); hash order is not part of the "
+                         "determinism contract — use a sorted/flat "
+                         "container"});
+            }
+        }
+    }
+}
+
+} // namespace llcf::detlint
