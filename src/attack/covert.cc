@@ -57,6 +57,9 @@ runCovertExperiment(AttackSession &session, MonitorKind kind,
 {
     Machine &m = session.machine();
 
+    if (params.accesses == 0)
+        fatal("covert experiment needs at least one sender access");
+
     // Schedule the sender's fixed-interval accesses, leaving room for
     // the receiver's initial prime.
     const Cycles start = m.now() + 100000;

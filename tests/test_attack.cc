@@ -109,6 +109,20 @@ TEST_F(MonitorTest, ParallelDetectsSenderAccesses)
     EXPECT_GE(out.detectionRate, 0.8);
 }
 
+TEST_F(MonitorTest, ZeroAccessCovertExperimentIsFatal)
+{
+    // accesses == 0 used to run sender_times.back() on an empty
+    // vector (undefined behavior) before dividing by zero in the
+    // detection-rate computation.
+    CovertParams params;
+    params.accesses = 0;
+    EXPECT_DEATH((void)runCovertExperiment(rig_.session,
+                                           MonitorKind::Parallel,
+                                           evsetA_, {}, sender_,
+                                           params),
+                 "at least one sender access");
+}
+
 TEST_F(MonitorTest, QuietSetYieldsNoDetections)
 {
     auto monitor = PrimeProbeMonitor::make(MonitorKind::Parallel,
