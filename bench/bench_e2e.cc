@@ -81,7 +81,8 @@ campaignSpecs(const ScenarioRegistry &reg, bool scenario_given,
         for (const ScenarioSpec &s : reg.all()) {
             if (s.stage == ScenarioStage::Campaign &&
                 s.fullScaleOnly == fullScale() &&
-                !s.defense.recordsMetrics()) // bench_defense's domain
+                !s.defense.recordsMetrics() && // bench_defense's domain
+                !s.trafficDomain())            // bench_traffic's domain
                 specs.push_back(&s);
         }
         return specs;

@@ -73,13 +73,15 @@ benchMain(bool list, bool smoke, bool scenario_given,
         // stages: victim-fleet campaigns are bench_e2e's domain,
         // Step-0 calibration is bench_calib's, and the defense axis
         // is bench_defense's (each for cost and for their own
-        // baseline gates).  All stay addressable here via
-        // --scenario=campaign-* / --scenario=calib-* /
-        // --scenario=defense-*.
+        // baseline gates).  The traffic axis (open-loop arrivals,
+        // victim families, co-tenant load) is bench_traffic's.  All
+        // stay addressable here via --scenario=campaign-* /
+        // --scenario=calib-* / --scenario=defense-* /
+        // --scenario=traffic-*.
         for (const ScenarioSpec &s : reg.all()) {
             if (s.stage != ScenarioStage::Campaign &&
                 s.stage != ScenarioStage::Calibrate &&
-                !s.defense.recordsMetrics())
+                !s.defense.recordsMetrics() && !s.trafficDomain())
                 specs.push_back(&s);
         }
     } else if (!selection.empty()) {

@@ -20,6 +20,9 @@
 #   calib       bench_calib smoke vs BENCH_calib.json + 1v8 identity
 #   defense     bench_defense smoke vs BENCH_defense.json + 1v8
 #               identity + the kill-cell hard gate
+#   traffic     bench_traffic smoke vs BENCH_traffic.json + 1v8
+#               identity + the AES-nibble / starved-cell /
+#               rotation-epoch hard gates
 #
 # --twin mode runs the cross-build byte-identity check instead: two
 # build trees of the same commit (scalar and SIMD tag-scan kernels)
@@ -61,7 +64,7 @@ shift
 gates=("$@")
 if [ ${#gates[@]} -eq 0 ]; then
     gates=(harness matrix hotpath scalar-flip e2e resume fullscale
-           calib defense)
+           calib defense traffic)
 fi
 
 cd "$build" || fail "cannot enter build dir $build"
@@ -186,6 +189,19 @@ gate_defense() {
     cmp BENCH_defense.json defense_t8.json
 }
 
+gate_traffic() {
+    ./bench_traffic --list
+    # Baseline gate (success rates, attack cost, the AES nibble
+    # floor, the starved-cell explicit miss, the rotation epoch
+    # count) on the 1-thread run ...
+    ./bench_traffic --smoke --threads=1 --json-out=BENCH_traffic.json \
+        --baseline="$repo_root/BENCH_traffic.json"
+    # ... and trial sharding must not change a byte.
+    ./bench_traffic --smoke --threads=8 --json-out=traffic_t8.json \
+        > /dev/null
+    cmp BENCH_traffic.json traffic_t8.json
+}
+
 for gate in "${gates[@]}"; do
     echo "== gate: $gate =="
     case "$gate" in
@@ -198,6 +214,7 @@ for gate in "${gates[@]}"; do
       fullscale) gate_fullscale ;;
       calib) gate_calib ;;
       defense) gate_defense ;;
+      traffic) gate_traffic ;;
       *) fail "unknown gate '$gate'" ;;
     esac
 done

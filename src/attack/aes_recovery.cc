@@ -1,0 +1,65 @@
+#include "attack/aes_recovery.hh"
+
+#include <algorithm>
+
+namespace llcf {
+
+AesNibbleRecovery::AesNibbleRecovery(unsigned target_line_index)
+    : table_(target_line_index / 16), line_(target_line_index % 16)
+{
+}
+
+void
+AesNibbleRecovery::addTrace(const std::vector<Cycles> &detections,
+                            const Victim::Execution &exec)
+{
+    if (exec.iterationStarts.size() < 2 ||
+        exec.plaintexts.size() + 1 != exec.iterationStarts.size())
+        return;
+    std::size_t cursor = 0;
+    const std::size_t windows = exec.plaintexts.size();
+    for (std::size_t i = 0; i < windows; ++i) {
+        const Cycles lo = exec.iterationStarts[i];
+        const Cycles hi = exec.iterationStarts[i + 1];
+        while (cursor < detections.size() && detections[cursor] < lo)
+            ++cursor;
+        const bool detected =
+            cursor < detections.size() && detections[cursor] < hi;
+        ++windows_;
+        if (detected)
+            continue;
+        // No access: eliminate, for each observable byte position,
+        // the nibble that would have mapped its round-1 lookup onto
+        // the monitored line.
+        for (unsigned s = 0; s < 4; ++s) {
+            const unsigned j = table_ + 4 * s;
+            const unsigned hi_pt = exec.plaintexts[i][j] >> 4;
+            const unsigned v = hi_pt ^ line_;
+            ++violations_[s][v];
+        }
+    }
+}
+
+std::vector<AesNibbleRecovery::NibbleGuess>
+AesNibbleRecovery::recover() const
+{
+    std::vector<NibbleGuess> out;
+    out.reserve(4);
+    for (unsigned s = 0; s < 4; ++s) {
+        NibbleGuess g;
+        g.byteIndex = table_ + 4 * s;
+        g.nibble = 0;
+        g.violations = violations_[s][0];
+        for (unsigned v = 1; v < 16; ++v) {
+            // Strict <: ties keep the lowest nibble (deterministic).
+            if (violations_[s][v] < g.violations) {
+                g.nibble = static_cast<std::uint8_t>(v);
+                g.violations = violations_[s][v];
+            }
+        }
+        out.push_back(g);
+    }
+    return out;
+}
+
+} // namespace llcf

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * AES key-nibble recovery from line-granular Prime+Probe traces.
+ *
+ * The monitored line is line L of T-table T.  Round 1 indexes T with
+ * plaintext[j] XOR key[j] for byte positions j in {T, T+4, T+8,
+ * T+12}, and 16 table entries share a line, so the line touched by
+ * position j is high(p[j]) XOR high(k[j]).  An encryption window
+ * with *no* detected access therefore rules out, for each of the
+ * four positions, the one candidate nibble v = high(p[j]) XOR L that
+ * would have put that position's lookup on the monitored line
+ * (Osvik/Shamir/Tromer elimination).  Wrong candidates accumulate
+ * eliminations from genuine no-access windows; the true nibble only
+ * from monitor misses — argmin recovers it, ties broken to the
+ * lowest value so recovery is deterministic.
+ */
+
+#ifndef LLCF_ATTACK_AES_RECOVERY_HH
+#define LLCF_ATTACK_AES_RECOVERY_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "victim/victim.hh"
+
+namespace llcf {
+
+/**
+ * Violation-counting recovery of the four key-byte upper nibbles
+ * observable through one monitored T-table line.  Feed it every
+ * monitored trace of one victim; read the guesses at the end.
+ */
+class AesNibbleRecovery
+{
+  public:
+    /** @p target_line_index selects table and line (page layout). */
+    explicit AesNibbleRecovery(unsigned target_line_index);
+
+    /**
+     * Fold one monitored trace into the counters: @p detections are
+     * absolute probe-detection times, @p exec supplies the window
+     * boundaries and the attacker-known plaintexts.
+     */
+    void addTrace(const std::vector<Cycles> &detections,
+                  const Victim::Execution &exec);
+
+    /** One recovered key-byte upper nibble. */
+    struct NibbleGuess
+    {
+        unsigned byteIndex = 0;     //!< key byte position (0-15)
+        std::uint8_t nibble = 0;    //!< recovered upper nibble
+        std::uint64_t violations = 0; //!< eliminations of the winner
+    };
+
+    /** Best guess per observable byte position (4 entries). */
+    std::vector<NibbleGuess> recover() const;
+
+    /** Encryption windows folded in so far. */
+    std::uint64_t windowsScored() const { return windows_; }
+
+  private:
+    unsigned table_ = 0;
+    unsigned line_ = 0;
+    std::array<std::array<std::uint64_t, 16>, 4> violations_{};
+    std::uint64_t windows_ = 0;
+};
+
+} // namespace llcf
+
+#endif // LLCF_ATTACK_AES_RECOVERY_HH

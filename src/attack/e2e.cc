@@ -1,11 +1,12 @@
 #include "e2e.hh"
 
+#include "attack/aes_recovery.hh"
 #include "common/log.hh"
+#include "victim/aes_victim.hh"
 
 namespace llcf {
 
-EndToEndAttack::EndToEndAttack(AttackSession &session,
-                               VictimService &victim,
+EndToEndAttack::EndToEndAttack(AttackSession &session, Victim &victim,
                                const TraceClassifier &classifier,
                                const NonceExtractor &extractor,
                                const E2EParams &params)
@@ -86,13 +87,15 @@ EndToEndAttack::collectTraces(const BuiltEvictionSet &evset,
     // below the minimum iteration duration, so no spurious boundary
     // pair can form beyond the ladder.
     const Cycles tail_slack = extractor_.params().minIteration / 2;
+    const bool aes = victim_.family() == VictimFamily::AesTable;
+    AesNibbleRecovery nibbles(victim_.targetLineIndex());
     for (unsigned i = 0; i < params_.tracesPerVictim; ++i) {
         auto execs = victim_.serveRequests(m.now() + 1000, 1);
         if (execs.empty()) {
             // The victim produced no execution (request quota spent,
             // service gone).  Return what was recovered so far as a
             // partial result instead of indexing an empty vector.
-            warn("e2e: victim produced no execution for signing "
+            warn("e2e: victim produced no execution for request "
                  "%u/%u; returning a partial result",
                  i + 1, params_.tracesPerVictim);
             break;
@@ -107,24 +110,76 @@ EndToEndAttack::collectTraces(const BuiltEvictionSet &evset,
                                                 tail_slack);
         m.clearStreams();
 
-        auto bits = extractor_.extract(detections);
-        auto sc = extractor_.score(bits, exec);
+        ExtractionScore sc;
+        if (aes) {
+            sc = scoreAesTrace(detections, exec);
+            nibbles.addTrace(detections, exec);
+        } else {
+            auto bits = extractor_.extract(detections);
+            sc = extractor_.score(bits, exec);
+        }
         ++res.tracesCollected;
         res.recoveredFraction.add(sc.recoveredFraction());
         if (sc.recoveredBits > 0)
             res.bitErrorRate.add(sc.bitErrorRate());
+        res.traceRecords.push_back({exec.keyEpoch,
+                                    sc.recoveredFraction(),
+                                    sc.recoveredBits > 0,
+                                    sc.bitErrorRate()});
+    }
+    if (aes && res.tracesCollected > 0) {
+        const auto &victim = static_cast<const AesTableVictim &>(victim_);
+        const auto guesses = nibbles.recover();
+        res.aesNibblesTotal = static_cast<unsigned>(guesses.size());
+        for (const auto &g : guesses) {
+            const std::uint8_t truth =
+                victim.keyBytes()[g.byteIndex] >> 4;
+            res.aesNibblesCorrect += g.nibble == truth;
+        }
     }
 }
 
+ExtractionScore
+EndToEndAttack::scoreAesTrace(const std::vector<Cycles> &detections,
+                              const Victim::Execution &exec)
+{
+    // Line-granular leakage: the per-window prediction is simply
+    // "was the monitored line touched", compared against the ground
+    // truth bit of every window.
+    ExtractionScore sc;
+    sc.totalBits = exec.bits.size();
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i + 1 < exec.iterationStarts.size(); ++i) {
+        const Cycles lo = exec.iterationStarts[i];
+        const Cycles hi = exec.iterationStarts[i + 1];
+        while (cursor < detections.size() && detections[cursor] < lo)
+            ++cursor;
+        const bool predicted =
+            cursor < detections.size() && detections[cursor] < hi;
+        ++sc.recoveredBits;
+        sc.bitErrors += predicted != (exec.bits[i] != 0);
+    }
+    return sc;
+}
+
 unsigned
-EndToEndAttack::scanRequestCount(const VictimService &victim,
+EndToEndAttack::scanRequestCount(const Victim &victim,
                                  const ScannerParams &scanner)
 {
     const double scan_sec = cyclesToSec(scanner.timeout);
+    if (victim.config().arrival.active()) {
+        // Open loop: the arrival process, not the service time,
+        // decides how many requests land in the scan window.
+        const double expected =
+            victim.config().arrival.ratePerSec * scan_sec;
+        return std::max<unsigned>(
+            4, static_cast<unsigned>(expected * 1.2) + 2);
+    }
     return std::max<unsigned>(
         4, static_cast<unsigned>(
                scan_sec /
-               cyclesToSec(victim.expectedRequestCycles(570)) * 1.2) +
+               cyclesToSec(victim.expectedRequestCycles(
+                   victim.expectedIterations())) * 1.2) +
                2);
 }
 

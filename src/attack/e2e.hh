@@ -52,6 +52,24 @@ struct E2EResult
     SampleStats recoveredFraction;
     /** Per-trace bit error rate among recovered bits. */
     SampleStats bitErrorRate;
+
+    /** One monitored trace's scores, tagged with its key epoch so
+        rotation campaigns can re-group per epoch (DESIGN.md §11). */
+    struct TraceRecord
+    {
+        unsigned keyEpoch = 0;
+        double recoveredFraction = 0.0;
+        bool hasBitErrorRate = false;
+        double bitErrorRate = 0.0;
+    };
+
+    /** Per-trace records in collection order. */
+    std::vector<TraceRecord> traceRecords;
+
+    /** AES family: key-byte upper nibbles scored (0 or 4). */
+    unsigned aesNibblesTotal = 0;
+    /** AES family: ... of which match the true key. */
+    unsigned aesNibblesCorrect = 0;
 };
 
 /**
@@ -63,7 +81,7 @@ struct E2EResult
 class EndToEndAttack
 {
   public:
-    EndToEndAttack(AttackSession &session, VictimService &victim,
+    EndToEndAttack(AttackSession &session, Victim &victim,
                    const TraceClassifier &classifier,
                    const NonceExtractor &extractor,
                    const E2EParams &params = {});
@@ -93,7 +111,7 @@ class EndToEndAttack
      * expected request duration.  Exposed so quota sizing (tests,
      * campaign specs) shares the attack's own arithmetic.
      */
-    static unsigned scanRequestCount(const VictimService &victim,
+    static unsigned scanRequestCount(const Victim &victim,
                                      const ScannerParams &scanner);
 
   private:
@@ -101,8 +119,13 @@ class EndToEndAttack
      *  points; accumulates traces into @p res. */
     void collectTraces(const BuiltEvictionSet &evset, E2EResult &res);
 
+    /** AES family: per-window line-touch prediction vs ground truth. */
+    static ExtractionScore scoreAesTrace(
+        const std::vector<Cycles> &detections,
+        const Victim::Execution &exec);
+
     AttackSession &session_;
-    VictimService &victim_;
+    Victim &victim_;
     const TraceClassifier &classifier_;
     const NonceExtractor &extractor_;
     E2EParams params_;

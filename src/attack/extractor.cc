@@ -40,7 +40,7 @@ NonceExtractor::accessFeatures(const std::vector<Cycles> &trace,
 Dataset
 NonceExtractor::buildTrainingSet(
     const std::vector<std::vector<Cycles>> &traces,
-    const std::vector<const VictimService::Execution *> &truths) const
+    const std::vector<const Victim::Execution *> &truths) const
 {
     Dataset data;
     for (std::size_t k = 0; k < traces.size(); ++k) {
@@ -131,7 +131,7 @@ NonceExtractor::extract(const std::vector<Cycles> &trace) const
 
 ExtractionScore
 NonceExtractor::score(const std::vector<ExtractedBit> &bits,
-                      const VictimService::Execution &truth) const
+                      const Victim::Execution &truth) const
 {
     ExtractionScore s;
     s.totalBits = truth.bits.size();

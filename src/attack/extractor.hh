@@ -77,7 +77,7 @@ class NonceExtractor
      */
     Dataset buildTrainingSet(
         const std::vector<std::vector<Cycles>> &traces,
-        const std::vector<const VictimService::Execution *> &truths)
+        const std::vector<const Victim::Execution *> &truths)
         const;
 
     /** Train the boundary forest. */
@@ -92,7 +92,7 @@ class NonceExtractor
 
     /** Score extracted bits against a signing's ground truth. */
     ExtractionScore score(const std::vector<ExtractedBit> &bits,
-                          const VictimService::Execution &truth) const;
+                          const Victim::Execution &truth) const;
 
     const ExtractorParams &params() const { return params_; }
 

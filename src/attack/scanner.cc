@@ -71,8 +71,7 @@ TraceClassifier::validate(const Dataset &data) const
 
 // ------------------------------------------------------------ trainer
 
-ScannerTrainer::ScannerTrainer(AttackSession &session,
-                               VictimService &victim,
+ScannerTrainer::ScannerTrainer(AttackSession &session, Victim &victim,
                                const CandidatePool &pool)
     : session_(session), victim_(victim), pool_(pool)
 {
@@ -201,6 +200,8 @@ TargetSetScanner::plausibleNonceTrace(
 ScanResult
 TargetSetScanner::scan(const std::vector<BuiltEvictionSet> &evsets)
 {
+    if (classifier_.params().adaptive)
+        return scanAdaptive(evsets);
     Machine &m = session_.machine();
     const auto &params = classifier_.params();
     ScanResult res;
@@ -235,6 +236,82 @@ TargetSetScanner::scan(const std::vector<BuiltEvictionSet> &evsets)
             res.evsetIndex = idx;
             break;
         }
+    }
+    res.elapsed = m.now() - start;
+    return res;
+}
+
+ScanResult
+TargetSetScanner::scanAdaptive(
+    const std::vector<BuiltEvictionSet> &evsets)
+{
+    Machine &m = session_.machine();
+    const auto &params = classifier_.params();
+    ScanResult res;
+    const Cycles start = m.now();
+    const Cycles deadline = start + params.timeout;
+    if (evsets.empty()) {
+        res.elapsed = m.now() - start;
+        return res;
+    }
+
+    // UCB1 over candidate sets.  Reward: 1.0 for a classifier
+    // positive, 0.5 for in-band activity, 0 otherwise — sets showing
+    // plausible traffic get revisited first, quiet sets decay to the
+    // exploration floor.  Everything is deterministic: unscanned
+    // sets go first in index order and the argmax breaks ties on the
+    // lowest index, so identical trials replay identically at any
+    // thread count.
+    std::vector<double> reward(evsets.size(), 0.0);
+    std::vector<std::uint64_t> pulls(evsets.size(), 0);
+    std::uint64_t total = 0;
+
+    while (m.now() < deadline && !res.found) {
+        std::size_t pick = evsets.size();
+        for (std::size_t i = 0; i < evsets.size(); ++i) {
+            if (pulls[i] == 0) {
+                pick = i;
+                break;
+            }
+        }
+        if (pick == evsets.size()) {
+            double best = -1.0;
+            const double logn =
+                std::log(static_cast<double>(std::max<std::uint64_t>(
+                    total, 2)));
+            for (std::size_t i = 0; i < evsets.size(); ++i) {
+                const double n = static_cast<double>(pulls[i]);
+                const double ucb = reward[i] / n +
+                                   params.ucbExplore *
+                                       std::sqrt(logn / n);
+                if (ucb > best) { // strict: ties keep the lowest index
+                    best = ucb;
+                    pick = i;
+                }
+            }
+        }
+
+        auto monitor = PrimeProbeMonitor::make(
+            MonitorKind::Parallel, session_, evsets[pick].sfSet);
+        const Cycles t0 = m.now();
+        auto detections =
+            monitor->collectTrace(t0 + params.traceDuration);
+        ++res.setsScanned;
+        ++pulls[pick];
+        ++total;
+        if (detections.size() < params.minAccesses ||
+            detections.size() > params.maxAccesses)
+            continue;
+        reward[pick] += 0.5;
+        for (auto &d : detections)
+            d -= t0;
+        if (!classifier_.isTarget(classifier_.features(detections)))
+            continue;
+        if (params.fpFilter && !plausibleNonceTrace(detections))
+            continue;
+        reward[pick] += 0.5;
+        res.found = true;
+        res.evsetIndex = pick;
     }
     res.elapsed = m.now() - start;
     return res;

@@ -31,6 +31,17 @@ struct ScannerParams
     /** Apply the nonce-extraction false-positive filter (used for
      *  WholeSys in the paper). */
     bool fpFilter = false;
+    /**
+     * Bandit-style budget allocation: instead of shuffled sweeps,
+     * pick the next set to trace by UCB over per-set activity
+     * rewards (deterministic: ties break to the lowest index and no
+     * session RNG is drawn).  Pays off under offered load, where
+     * most sets show some traffic and uniform sweeping wastes
+     * monitoring budget on quiet sets.
+     */
+    bool adaptive = false;
+    /** UCB exploration constant (adaptive mode only). */
+    double ucbExplore = 1.2;
 };
 
 /**
@@ -70,7 +81,7 @@ class TraceClassifier
 class ScannerTrainer
 {
   public:
-    ScannerTrainer(AttackSession &session, VictimService &victim,
+    ScannerTrainer(AttackSession &session, Victim &victim,
                    const CandidatePool &pool);
 
     /**
@@ -82,7 +93,7 @@ class ScannerTrainer
 
   private:
     AttackSession &session_;
-    VictimService &victim_;
+    Victim &victim_;
     const CandidatePool &pool_;
 };
 
@@ -124,6 +135,9 @@ class TargetSetScanner
   private:
     /** Cheap nonce-shaped sanity filter for WholeSys false positives. */
     bool plausibleNonceTrace(const std::vector<Cycles> &rel_times) const;
+
+    /** UCB bandit sweep (ScannerParams::adaptive). */
+    ScanResult scanAdaptive(const std::vector<BuiltEvictionSet> &evsets);
 
     AttackSession &session_;
     const TraceClassifier &classifier_;

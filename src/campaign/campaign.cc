@@ -69,6 +69,46 @@ recordFailedVictim(TrialRecorder &rec, Cycles totalCycles)
     // all-victims-failed fleet where these keys never appear at all.
 }
 
+/**
+ * Rotation campaigns score each key epoch independently: a trace only
+ * supports the key it was served under (DESIGN.md §11).  Records one
+ * "epoch_key_recovered" outcome per epoch seen in the monitored
+ * traces and returns whether any epoch's key met the quality bands.
+ */
+bool
+scoreKeyEpochs(const ScenarioSpec &spec, TrialRecorder &rec,
+               const E2EResult &res)
+{
+    // Traces arrive in collection order, so epochs are non-decreasing;
+    // group by scanning for boundaries.
+    std::size_t epochs = 0;
+    std::size_t recoveredEpochs = 0;
+    std::size_t i = 0;
+    while (i < res.traceRecords.size()) {
+        const unsigned epoch = res.traceRecords[i].keyEpoch;
+        SampleStats rf;
+        SampleStats ber;
+        for (; i < res.traceRecords.size() &&
+               res.traceRecords[i].keyEpoch == epoch;
+             ++i) {
+            rf.add(res.traceRecords[i].recoveredFraction);
+            if (res.traceRecords[i].hasBitErrorRate)
+                ber.add(res.traceRecords[i].bitErrorRate);
+        }
+        const bool recovered =
+            res.targetCorrect && !rf.empty() && !ber.empty() &&
+            rf.mean() >= spec.keyMinRecoveredFraction &&
+            ber.mean() <= spec.keyMaxBitErrorRate;
+        rec.outcome("epoch_key_recovered", recovered);
+        ++epochs;
+        recoveredEpochs += recovered;
+    }
+    rec.metric("traffic_epochs", static_cast<double>(epochs));
+    rec.metric("traffic_epoch_keys",
+               static_cast<double>(recoveredEpochs));
+    return recoveredEpochs > 0;
+}
+
 /** Record one attack result under the campaign's canonical names. */
 void
 recordVictimResult(const ScenarioSpec &spec, TrialRecorder &rec,
@@ -78,10 +118,13 @@ recordVictimResult(const ScenarioSpec &spec, TrialRecorder &rec,
     rec.outcome("target_found", res.targetFound);
     rec.outcome("target_correct", res.targetCorrect);
     const bool recovered =
-        res.targetCorrect && !res.recoveredFraction.empty() &&
-        !res.bitErrorRate.empty() &&
-        res.recoveredFraction.mean() >= spec.keyMinRecoveredFraction &&
-        res.bitErrorRate.mean() <= spec.keyMaxBitErrorRate;
+        spec.rotateKeys > 0
+            ? scoreKeyEpochs(spec, rec, res)
+            : res.targetCorrect && !res.recoveredFraction.empty() &&
+                  !res.bitErrorRate.empty() &&
+                  res.recoveredFraction.mean() >=
+                      spec.keyMinRecoveredFraction &&
+                  res.bitErrorRate.mean() <= spec.keyMaxBitErrorRate;
     rec.outcome("key_recovered", recovered);
 
     rec.metric("build_cycles", static_cast<double>(res.buildTime));
@@ -142,15 +185,13 @@ CampaignWorld::CampaignWorld(const ScenarioSpec &s,
     }
 
     // All fleet victims share one layout on the fork path.
-    VictimConfig base;
-    base.targetLineIndex = fleetLineIndexFor(spec, 0);
-    base.requestQuota = 0;
+    const unsigned lineIndex = fleetLineIndexFor(spec, 0);
 
     // ---- classifier training on an attacker-side replica.
-    VictimConfig rcfg = base;
-    rcfg.seed = streamSeed(rig.victimSeed(), kTrainingReplica);
-    VictimService replica(m, rcfg);
-    classifier = trainScenarioClassifier(spec, rig, replica);
+    auto replica = makeScenarioVictim(
+        spec, m, streamSeed(rig.victimSeed(), kTrainingReplica),
+        lineIndex, 0);
+    classifier = trainScenarioClassifier(spec, rig, *replica);
 
     params.algo = spec.algo;
     params.useFilter = spec.useFilter;
@@ -160,7 +201,7 @@ CampaignWorld::CampaignWorld(const ScenarioSpec &s,
     // ---- Step 1: eviction sets at the fleet's target line index.
     EvictionSetBuilder builder(*rig.session, spec.algo, spec.useFilter);
     BulkOutcome built =
-        builder.buildAtLineIndex(*rig.pool, base.targetLineIndex);
+        builder.buildAtLineIndex(*rig.pool, lineIndex);
     if (built.evsets.empty()) {
         warmupCycles = m.now();
         return;
@@ -175,12 +216,12 @@ CampaignWorld::CampaignWorld(const ScenarioSpec &s,
 
     // ---- Step 2: identify the target SF set against a stand-in
     // victim with the fleet layout.
-    VictimConfig scfg = base;
-    scfg.seed = streamSeed(rig.victimSeed(), kProductionVictim);
-    VictimService scanVictim(m, scfg);
-    scanVictim.serveRequests(
+    auto scanVictim = makeScenarioVictim(
+        spec, m, streamSeed(rig.victimSeed(), kProductionVictim),
+        lineIndex, 0);
+    scanVictim->serveRequests(
         m.now(),
-        EndToEndAttack::scanRequestCount(scanVictim, params.scanner));
+        EndToEndAttack::scanRequestCount(*scanVictim, params.scanner));
     TargetSetScanner scanner(*rig.session, classifier);
     ScanResult scan = scanner.scan(built.evsets);
     m.clearStreams();
@@ -242,19 +283,19 @@ runForkedVictimTrial(CampaignWorld &world, const ScenarioSpec &spec,
     world.rig.session->restore(world.sessionSnap);
     const Cycles start = m.now();
 
-    VictimConfig vcfg;
-    vcfg.seed = streamSeed(ctx.seed, kProductionVictim);
-    vcfg.targetLineIndex = fleetLineIndexFor(spec, ctx.index);
-    vcfg.requestQuota = spec.victimRequestQuota;
-    VictimService victim(m, vcfg);
+    auto victim = makeScenarioVictim(
+        spec, m, streamSeed(ctx.seed, kProductionVictim),
+        fleetLineIndexFor(spec, ctx.index), spec.victimRequestQuota);
 
-    EndToEndAttack attack(*world.rig.session, victim, world.classifier,
-                          world.extractor, world.params);
+    EndToEndAttack attack(*world.rig.session, *victim,
+                          world.classifier, world.extractor,
+                          world.params);
     E2EResult res = attack.runFromScan(world.evset);
 
     // Per-victim marginal cost: only this victim's monitoring time.
     // The shared Steps 0-2 cost is charged once (warmup_cycles).
     recordVictimResult(spec, rec, res, m.now() - start);
+    maybeRecordTraffic(spec, rec, *victim, nullptr);
     recordPerfCounters(rec, m.perfCounters());
     if (ctx.index == 0)
         rec.metric("warmup_cycles",
@@ -295,23 +336,24 @@ runCampaignVictimTrial(const ScenarioSpec &spec, TrialContext &ctx,
         }
     }
 
-    VictimConfig vcfg;
-    vcfg.seed = streamSeed(rig.victimSeed(), kProductionVictim);
-    vcfg.targetLineIndex = fleetLineIndexFor(spec, ctx.index);
-    vcfg.requestQuota = spec.victimRequestQuota;
-    VictimService victim(rig.machine, vcfg);
-    maybeArmScenarioWatchdog(rig.machine, victim);
+    auto victim = makeScenarioVictim(
+        spec, rig.machine, streamSeed(rig.victimSeed(),
+                                      kProductionVictim),
+        fleetLineIndexFor(spec, ctx.index), spec.victimRequestQuota);
+    maybeArmScenarioWatchdog(rig.machine, *victim);
 
     // The classifier trains offline on an attacker-side replica of
     // the victim binary (same layout, its own key, no quota), as in
     // the paper — the production victim's quota is never spent on
     // training traffic.
-    VictimConfig rcfg = vcfg;
-    rcfg.seed = streamSeed(rig.victimSeed(), kTrainingReplica);
-    rcfg.requestQuota = 0;
-    VictimService replica(rig.machine, rcfg);
+    auto replica = makeScenarioVictim(
+        spec, rig.machine, streamSeed(rig.victimSeed(),
+                                      kTrainingReplica),
+        fleetLineIndexFor(spec, ctx.index), 0);
     TraceClassifier classifier =
-        trainScenarioClassifier(victimSpec, rig, replica);
+        trainScenarioClassifier(victimSpec, rig, *replica);
+    auto load =
+        makeScenarioLoad(victimSpec, rig.machine, rig.victimSeed());
 
     NonceExtractor extractor; // rule-based boundary detection
     E2EParams params;
@@ -319,13 +361,14 @@ runCampaignVictimTrial(const ScenarioSpec &spec, TrialContext &ctx,
     params.useFilter = victimSpec.useFilter;
     params.tracesPerVictim = victimSpec.tracesPerVictim;
     params.scanner.timeout = secToCycles(victimSpec.scanTimeoutSec);
-    EndToEndAttack attack(*rig.session, victim, classifier, extractor,
+    EndToEndAttack attack(*rig.session, *victim, classifier, extractor,
                           params);
     E2EResult res = attack.run(*rig.pool);
 
     recordVictimResult(spec, rec, res, res.totalTime() + calibCycles);
     if (spec.defense.recordsMetrics())
         recordDefenseMetrics(rec, rig.machine, nullptr);
+    maybeRecordTraffic(spec, rec, *victim, load.get());
     // Campaigns always aggregate the hierarchy counters: BENCH_e2e
     // is new output, so there is no historical byte content to keep.
     recordPerfCounters(rec, rig.machine.perfCounters());
@@ -409,6 +452,12 @@ KeyRecoveryCampaign::KeyRecoveryCampaign(ScenarioSpec spec)
               "active defense — re-keying or watchdog state would "
               "invalidate the shared post-scan snapshot; use the "
               "per-trial (non-fork) campaign path",
+              spec_.name.c_str());
+    if (spec_.forkVictims && spec_.coTenants > 0)
+        fatal("campaign '%s': forkVictims cannot compose with "
+              "co-tenant load — the pinned load streams live outside "
+              "the shared post-scan snapshot; use the per-trial "
+              "(non-fork) campaign path",
               spec_.name.c_str());
 }
 

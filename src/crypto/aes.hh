@@ -1,0 +1,69 @@
+/**
+ * @file
+ * AES-128 block cipher with T-table access tracing.
+ *
+ * The cipher itself is the plain FIPS-197 round structure.  What the
+ * simulator needs on top is the *memory behaviour* of the classic
+ * table-lookup implementation (four 1 KB T-tables): every round-1
+ * lookup indexes table (j mod 4) with plaintext[j] XOR key[j], so the
+ * upper nibble of each index — the 64-byte cache line touched — leaks
+ * the upper nibble of a key byte (Osvik/Shamir/Tromer).  encryptTrace
+ * reports each lookup of rounds 1-9 as a (table, index) pair in issue
+ * order; the AES victim turns those into timed line accesses.
+ */
+
+#ifndef LLCF_CRYPTO_AES_HH
+#define LLCF_CRYPTO_AES_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace llcf {
+
+/**
+ * AES-128 with the key schedule expanded at construction.  Pure
+ * computation: no RNG, no clock, no I/O.
+ */
+class Aes128
+{
+  public:
+    /** One 16-byte block (also used for keys). */
+    using Block = std::array<std::uint8_t, 16>;
+
+    /**
+     * One T-table lookup: which of the four 1 KB tables, and the
+     * byte index into its 256 four-byte entries.  Sixteen entries
+     * share a 64-byte line, so the touched line is `index >> 4`.
+     */
+    struct TableLookup
+    {
+        std::uint8_t table = 0; //!< T-table number, 0-3
+        std::uint8_t index = 0; //!< entry index, 0-255
+    };
+
+    /** Expand @p key into the 11 round keys. */
+    explicit Aes128(const Block &key);
+
+    /** Encrypt one block. */
+    Block encrypt(const Block &plaintext) const;
+
+    /**
+     * Encrypt one block, appending the T-table lookups of rounds 1-9
+     * (16 per round, 144 total) to @p lookups in issue order.  The
+     * final round uses a separate S-box table and is not traced.
+     */
+    Block encryptTrace(const Block &plaintext,
+                       std::vector<TableLookup> &lookups) const;
+
+    /** The cipher key (experimenter-side ground truth). */
+    const Block &key() const { return key_; }
+
+  private:
+    Block key_;
+    std::array<Block, 11> roundKeys_;
+};
+
+} // namespace llcf
+
+#endif // LLCF_CRYPTO_AES_HH

@@ -30,7 +30,7 @@ maybeRecordCounters(const ScenarioRig &rig, TrialRecorder &rec)
 
 /** The victim lines a defense watches: target + decoys. */
 std::vector<Addr>
-victimWorkingSet(const VictimService &victim)
+victimWorkingSet(const Victim &victim)
 {
     std::vector<Addr> lines;
     lines.reserve(1 + victim.decoyPas().size());
@@ -48,7 +48,7 @@ victimWorkingSet(const VictimService &victim)
  */
 void
 maybeRecordDefense(const ScenarioSpec &spec, const ScenarioRig &rig,
-                   TrialRecorder &rec, const VictimService *victim)
+                   TrialRecorder &rec, const Victim *victim)
 {
     if (!spec.defense.recordsMetrics())
         return;
@@ -130,26 +130,33 @@ runScanTrial(const ScenarioSpec &spec, TrialContext &ctx,
         return;
     }
     Machine &m = rig.machine;
-    VictimConfig vcfg;
-    vcfg.seed = rig.victimSeed();
-    VictimService victim(m, vcfg);
-    maybeArmScenarioWatchdog(m, victim);
+    auto victim = makeScenarioVictim(spec, m, rig.victimSeed(),
+                                     VictimConfig{}.targetLineIndex, 0);
+    maybeArmScenarioWatchdog(m, *victim);
     TraceClassifier classifier = trainScenarioClassifier(spec, rig,
-                                                         victim);
+                                                         *victim);
+    auto load = makeScenarioLoad(spec, m, rig.victimSeed());
 
     Cycles t0 = m.now();
     EvictionSetBuilder builder(*rig.session, spec.algo, spec.useFilter);
     auto bulk = builder.buildAtLineIndex(*rig.pool,
-                                         victim.targetLineIndex());
+                                         victim->targetLineIndex());
     rec.metric("build_cycles", static_cast<double>(m.now() - t0));
     rec.outcome("evsets_built", !bulk.evsets.empty());
     if (bulk.evsets.empty()) {
-        maybeRecordDefense(spec, rig, rec, &victim);
+        maybeRecordDefense(spec, rig, rec, victim.get());
         return;
     }
 
-    // Keep the victim serving requests across the scan window.
-    victim.serveRequests(m.now(), 8);
+    // Keep the victim serving requests across the scan window.  Open
+    // loop sizes the request count from the arrival rate; closed loop
+    // keeps the historical fixed batch.
+    const unsigned scanRequests =
+        victim->config().arrival.active()
+            ? EndToEndAttack::scanRequestCount(*victim,
+                                               classifier.params())
+            : 8;
+    victim->serveRequests(m.now(), scanRequests);
     t0 = m.now();
     TargetSetScanner scanner(*rig.session, classifier);
     auto res = scanner.scan(bulk.evsets);
@@ -160,8 +167,9 @@ runScanTrial(const ScenarioSpec &spec, TrialContext &ctx,
     rec.outcome("target_correct",
                 res.found &&
                     m.sharedSetOf(bulk.evsets[res.evsetIndex].target) ==
-                        m.sharedSetOf(victim.targetLinePa()));
-    maybeRecordDefense(spec, rig, rec, &victim);
+                        m.sharedSetOf(victim->targetLinePa()));
+    maybeRecordDefense(spec, rig, rec, victim.get());
+    maybeRecordTraffic(spec, rec, *victim, load.get());
     maybeRecordCounters(rig, rec);
 }
 
@@ -183,12 +191,13 @@ runEndToEndTrial(const ScenarioSpec &spec, TrialContext &ctx,
         maybeRecordCounters(rig, rec);
         return;
     }
-    VictimConfig vcfg;
-    vcfg.seed = rig.victimSeed();
-    VictimService victim(rig.machine, vcfg);
-    maybeArmScenarioWatchdog(rig.machine, victim);
+    auto victim = makeScenarioVictim(spec, rig.machine,
+                                     rig.victimSeed(),
+                                     VictimConfig{}.targetLineIndex, 0);
+    maybeArmScenarioWatchdog(rig.machine, *victim);
     TraceClassifier classifier = trainScenarioClassifier(spec, rig,
-                                                         victim);
+                                                         *victim);
+    auto load = makeScenarioLoad(spec, rig.machine, rig.victimSeed());
     NonceExtractor extractor; // rule-based boundary detection
 
     E2EParams params;
@@ -196,7 +205,7 @@ runEndToEndTrial(const ScenarioSpec &spec, TrialContext &ctx,
     params.useFilter = spec.useFilter;
     params.tracesPerVictim = spec.tracesPerVictim;
     params.scanner.timeout = secToCycles(spec.scanTimeoutSec);
-    EndToEndAttack attack(*rig.session, victim, classifier, extractor,
+    EndToEndAttack attack(*rig.session, *victim, classifier, extractor,
                           params);
     auto res = attack.run(*rig.pool);
 
@@ -213,7 +222,14 @@ runEndToEndTrial(const ScenarioSpec &spec, TrialContext &ctx,
         rec.metric("recovered_fraction", v);
     for (double v : res.bitErrorRate.samples())
         rec.metric("bit_error_rate", v);
-    maybeRecordDefense(spec, rig, rec, &victim);
+    if (spec.victimFamily == VictimFamily::AesTable) {
+        rec.metric("aes_nibbles_total",
+                   static_cast<double>(res.aesNibblesTotal));
+        rec.metric("aes_nibbles_correct",
+                   static_cast<double>(res.aesNibblesCorrect));
+    }
+    maybeRecordDefense(spec, rig, rec, victim.get());
+    maybeRecordTraffic(spec, rec, *victim, load.get());
     maybeRecordCounters(rig, rec);
 }
 
@@ -233,10 +249,11 @@ runCalibrateTrial(const ScenarioSpec &spec, TrialContext &ctx,
 
 TraceClassifier
 trainScenarioClassifier(const ScenarioSpec &spec, ScenarioRig &rig,
-                        VictimService &victim)
+                        Victim &victim)
 {
     ScannerParams sparams;
     sparams.timeout = secToCycles(spec.scanTimeoutSec);
+    sparams.adaptive = spec.adaptiveScan;
     TraceClassifier classifier(sparams);
     ScannerTrainer trainer(*rig.session, victim, *rig.pool);
     classifier.train(trainer.collect(classifier, spec.trainTargetTraces,
@@ -470,12 +487,70 @@ recordDefenseMetrics(TrialRecorder &rec, const Machine &machine,
 }
 
 void
-maybeArmScenarioWatchdog(Machine &machine, const VictimService &victim)
+maybeArmScenarioWatchdog(Machine &machine, const Victim &victim)
 {
     if (!machine.config().defense.watchdog.enabled)
         return;
     machine.armWatchdog(victim.config().core,
                         victimWorkingSet(victim));
+}
+
+std::unique_ptr<Victim>
+makeScenarioVictim(const ScenarioSpec &spec, Machine &machine,
+                   std::uint64_t seed, unsigned line_index,
+                   std::uint64_t quota)
+{
+    VictimConfig vcfg;
+    vcfg.family = spec.victimFamily;
+    vcfg.arrival = spec.victimArrival;
+    vcfg.rotateKeys = spec.rotateKeys;
+    vcfg.targetLineIndex = line_index;
+    vcfg.requestQuota = quota;
+    vcfg.seed = seed;
+    return makeVictim(machine, vcfg);
+}
+
+std::unique_ptr<CoTenantLoad>
+makeScenarioLoad(const ScenarioSpec &spec, Machine &machine,
+                 std::uint64_t seed)
+{
+    if (spec.coTenants == 0)
+        return nullptr;
+    CoTenantLoadConfig lcfg;
+    lcfg.tenants = spec.coTenants;
+    // Co-tenants reuse the victim's arrival shape at their own rate;
+    // a cell with a closed-loop victim still offers Poisson load.
+    lcfg.arrival = spec.victimArrival;
+    if (!lcfg.arrival.active())
+        lcfg.arrival.kind = ArrivalKind::Poisson;
+    lcfg.arrival.ratePerSec = spec.coTenantRps;
+    lcfg.seed = streamSeed(seed, 3);
+    // The horizon covers training echoes, Step 1 and the scan window
+    // with slack; Step 3 monitors windows the victim itself times.
+    const Cycles horizon = secToCycles(4.0 * spec.scanTimeoutSec + 1.0);
+    return std::make_unique<CoTenantLoad>(machine, lcfg, machine.now(),
+                                          horizon);
+}
+
+void
+maybeRecordTraffic(const ScenarioSpec &spec, TrialRecorder &rec,
+                   const Victim &victim, const CoTenantLoad *load)
+{
+    if (!spec.trafficDomain())
+        return;
+    rec.metric("traffic_offered_rps",
+               spec.victimArrival.active()
+                   ? spec.victimArrival.ratePerSec
+                   : 0.0);
+    rec.metric("traffic_victim_arrivals",
+               static_cast<double>(victim.arrivalCount()));
+    rec.metric("traffic_queue_delay_cycles",
+               victim.meanQueueDelayCycles());
+    rec.metric("traffic_cotenant_accesses",
+               load ? static_cast<double>(load->scheduledAccesses())
+                    : 0.0);
+    rec.metric("traffic_key_epochs",
+               static_cast<double>(victim.keyEpoch()) + 1.0);
 }
 
 ExperimentResult

@@ -126,9 +126,46 @@ struct ScenarioSpec
 
     /** A victim's key counts as recovered iff the correct SF set was
      *  monitored and the mean recovered fraction / bit error rate of
-     *  its traces clear these bands. */
+     *  its traces clear these bands.  With key rotation the same
+     *  bands apply per epoch (DESIGN.md §11). */
     double keyMinRecoveredFraction = 0.35;
     double keyMaxBitErrorRate = 0.35;
+
+    // ------------------------------------------------ traffic axis
+    // Heavy-traffic realism: which service family the victim runs,
+    // open-loop offered load, mid-campaign key rotation, and the
+    // scanner's adaptive budget allocation.  All default-off so
+    // every pre-existing cell keeps its serialized bytes.
+
+    /** Victim service family (ECDSA ladder or T-table AES). */
+    VictimFamily victimFamily = VictimFamily::EcdsaLadder;
+
+    /** Open-loop victim request arrivals (inactive = closed loop). */
+    ArrivalSpec victimArrival;
+
+    /** Co-tenant services emitting pinned offered load (0 = none). */
+    unsigned coTenants = 0;
+
+    /** Per-co-tenant mean arrival rate (requests per second). */
+    double coTenantRps = 0.0;
+
+    /** Victim requests per key epoch (0 = never rotate). */
+    std::uint64_t rotateKeys = 0;
+
+    /** Scanner uses UCB bandit budget allocation (Step 2). */
+    bool adaptiveScan = false;
+
+    /** True iff any traffic-axis knob is set; such cells run under
+     *  bench_traffic and are excluded from the bench_matrix /
+     *  bench_e2e default selections so committed baselines keep
+     *  their bytes. */
+    bool
+    trafficDomain() const
+    {
+        return victimFamily != VictimFamily::EcdsaLadder ||
+               victimArrival.active() || coTenants > 0 ||
+               rotateKeys > 0 || adaptiveScan;
+    }
 
     // ------------------------------------ Step 0 (Stage::Calibrate
     // scenarios, and any stage with blindTopology set)
@@ -234,7 +271,7 @@ ExperimentResult runScenario(const ScenarioSpec &spec,
  */
 TraceClassifier trainScenarioClassifier(const ScenarioSpec &spec,
                                         ScenarioRig &rig,
-                                        VictimService &victim);
+                                        Victim &victim);
 
 /**
  * Run Step 0 for a blind rig: probe the topology with the spec's
@@ -286,8 +323,39 @@ void recordDefenseMetrics(TrialRecorder &rec, const Machine &machine,
  * victim-bearing trial bodies right after victim construction so the
  * watchdog observes the whole attack window.
  */
-void maybeArmScenarioWatchdog(Machine &machine,
-                              const VictimService &victim);
+void maybeArmScenarioWatchdog(Machine &machine, const Victim &victim);
+
+/**
+ * Build the trial's victim from the spec's traffic axis: family,
+ * open-loop arrival spec, and rotation interval applied on top of
+ * the caller's line index / quota / seed.  Pre-traffic cells hit the
+ * identical EcdsaLadderVictim construction path.
+ */
+std::unique_ptr<Victim> makeScenarioVictim(const ScenarioSpec &spec,
+                                           Machine &machine,
+                                           std::uint64_t seed,
+                                           unsigned line_index,
+                                           std::uint64_t quota);
+
+/**
+ * Register the spec's co-tenant offered load as pinned machine
+ * streams spanning the remainder of the trial (no-op returning null
+ * when spec.coTenants == 0).  Call after classifier training —
+ * training is offline on attacker-controlled hosts — and before
+ * Step 1, so build, scan and monitor all contend with the load.
+ */
+std::unique_ptr<CoTenantLoad> makeScenarioLoad(const ScenarioSpec &spec,
+                                               Machine &machine,
+                                               std::uint64_t seed);
+
+/**
+ * Record the traffic axis's per-trial metrics (traffic_* series) iff
+ * spec.trafficDomain(): offered rate, arrivals served, mean queue
+ * delay, scheduled co-tenant accesses.  Keeps non-traffic cells'
+ * serialized shape untouched.
+ */
+void maybeRecordTraffic(const ScenarioSpec &spec, TrialRecorder &rec,
+                        const Victim &victim, const CoTenantLoad *load);
 
 } // namespace llcf
 

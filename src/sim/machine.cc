@@ -809,7 +809,7 @@ Machine::perfCounters() const
 
 Machine::StreamId
 Machine::addStream(unsigned core, Addr pa, std::vector<Cycles> times,
-                   bool is_store)
+                   bool is_store, bool pinned)
 {
     if (core >= cfg_.cores)
         fatal("stream core %u out of range", core);
@@ -820,6 +820,7 @@ Machine::addStream(unsigned core, Addr pa, std::vector<Cycles> times,
     st.core = core;
     st.line = lineAlign(pa);
     st.isStore = is_store;
+    st.pinned = pinned;
     st.times = std::move(times);
     const unsigned s = sharedSetOf(st.line);
     streams_.push_back(std::move(st));
@@ -842,9 +843,21 @@ Machine::removeStream(StreamId id)
 void
 Machine::clearStreams()
 {
-    streams_.clear();
-    setStreams_.assign(setStreams_.size(), {});
-    std::fill(hasStream_.begin(), hasStream_.end(), 0);
+    bool any_pinned = false;
+    for (const Stream &st : streams_)
+        any_pinned |= st.pinned;
+    if (!any_pinned) {
+        streams_.clear();
+        setStreams_.assign(setStreams_.size(), {});
+        std::fill(hasStream_.begin(), hasStream_.end(), 0);
+        updateQuiescent();
+        return;
+    }
+    // Pinned streams (co-tenant offered load) survive the attack
+    // layer's between-step cleanups; only victim streams drop.
+    std::erase_if(streams_,
+                  [](const Stream &st) { return !st.pinned; });
+    rebuildStreamIndex();
     updateQuiescent();
 }
 

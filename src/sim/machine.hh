@@ -98,6 +98,7 @@ struct MachineStream
     unsigned core = 0;
     Addr line = 0;
     bool isStore = false;
+    bool pinned = false; //!< survives Machine::clearStreams()
     std::vector<Cycles> times;
     std::size_t cursor = 0;
 };
@@ -244,15 +245,17 @@ class Machine
      * Register a timed access stream (e.g. the victim's secret-
      * dependent code fetches).  @p times are absolute cycle stamps,
      * sorted ascending; each is applied as one access by @p core to
-     * @p pa when the containing set is next synchronised.
+     * @p pa when the containing set is next synchronised.  A
+     * @p pinned stream (co-tenant offered load) survives
+     * clearStreams().
      */
     StreamId addStream(unsigned core, Addr pa, std::vector<Cycles> times,
-                       bool is_store = false);
+                       bool is_store = false, bool pinned = false);
 
     /** Remove a stream; pending events are dropped. */
     void removeStream(StreamId id);
 
-    /** Remove all streams. */
+    /** Remove all non-pinned streams. */
     void clearStreams();
 
     // ------------------------------------------------------ defenses

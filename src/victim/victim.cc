@@ -1,23 +1,126 @@
 #include "victim.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/log.hh"
+#include "victim/aes_victim.hh"
 
 namespace llcf {
 
-VictimService::VictimService(Machine &machine, const VictimConfig &cfg)
+const char *
+victimFamilyName(VictimFamily family)
+{
+    switch (family) {
+    case VictimFamily::EcdsaLadder:
+        return "ecdsa";
+    case VictimFamily::AesTable:
+        return "aes";
+    }
+    return "?";
+}
+
+Victim::Victim(Machine &machine, const VictimConfig &cfg)
     : machine_(machine),
       cfg_(cfg),
-      space_(machine.newAddressSpace()),
-      ecdsa_(Rng(mix64(cfg.seed ^ 0xec2a))),
-      rng_(mix64(cfg.seed ^ 0x71c7))
+      space_(machine.newAddressSpace())
 {
     if (cfg_.core >= machine.config().cores)
         fatal("victim core %u out of range", cfg_.core);
     if (cfg_.targetLineIndex >= kLinesPerPage)
         fatal("target line index %u out of range", cfg_.targetLineIndex);
+    // dutyCycle divides expectedRequestCycles and the think-time
+    // model; anything outside (0, 1] (or NaN) poisons every derived
+    // duration, so reject it here instead of emitting nonsense.
+    if (!(cfg_.dutyCycle > 0.0) || cfg_.dutyCycle > 1.0) {
+        // detlint: allow(float-format) -- fatal diagnostic only
+        fatal("victim dutyCycle %.3f outside (0, 1]", cfg_.dutyCycle);
+    }
+    if (cfg_.iterationCycles == 0)
+        fatal("victim iterationCycles must be positive");
+    if (!(cfg_.iterationJitter >= 0.0) ||
+        cfg_.iterationJitter >= 1.0) {
+        // detlint: allow(float-format) -- fatal diagnostic only
+        fatal("victim iterationJitter %.3f outside [0, 1)",
+              cfg_.iterationJitter);
+    }
+    // Open-loop arrivals draw from their own positional stream so
+    // closed-loop behaviour is byte-identical with or without the
+    // traffic wing compiled in.
+    if (cfg_.arrival.active())
+        arrivals_ = std::make_unique<ArrivalProcess>(
+            cfg_.arrival, mix64(cfg_.seed ^ 0x0a21));
+}
 
+Victim::~Victim() = default;
+
+Cycles
+Victim::expectedRequestCycles(std::size_t iterations) const
+{
+    const double ladder = static_cast<double>(iterations) *
+                          static_cast<double>(cfg_.iterationCycles);
+    return static_cast<Cycles>(ladder / cfg_.dutyCycle);
+}
+
+Victim::Execution
+Victim::triggerRequest(Cycles request_start)
+{
+    if (cfg_.rotateKeys > 0 && requestsThisEpoch_ == cfg_.rotateKeys) {
+        rotateKey();
+        ++keyEpoch_;
+        requestsThisEpoch_ = 0;
+    }
+    Execution exec = generateExecution(request_start);
+    exec.keyEpoch = keyEpoch_;
+    ++requestCounter_;
+    ++requestsThisEpoch_;
+    return exec;
+}
+
+std::vector<Victim::Execution>
+Victim::serveRequests(Cycles first_start, unsigned count)
+{
+    std::vector<Execution> out;
+    out.reserve(count);
+    Cycles start = first_start;
+    for (unsigned i = 0; i < count; ++i) {
+        if (remainingQuota() == 0)
+            break;
+        if (arrivals_) {
+            // Open loop: the arrival clock runs independently of
+            // service completions; early arrivals queue behind the
+            // in-flight request.
+            if (!arrivalsPrimed_) {
+                nextArrival_ =
+                    first_start + arrivals_->nextInterarrival();
+                arrivalsPrimed_ = true;
+            }
+            const Cycles arrival = nextArrival_;
+            nextArrival_ = arrival + arrivals_->nextInterarrival();
+            start = std::max({arrival, lastRequestEnd_, first_start});
+            queueDelaySum_ += static_cast<double>(start - arrival);
+            ++arrivalCount_;
+        }
+        Execution exec = triggerRequest(start);
+        lastRequestEnd_ = exec.requestEnd;
+        if (!arrivals_) {
+            // Small think time between requests.
+            const Cycles gap = closedLoopGap();
+            start = exec.requestEnd + gap;
+        }
+        out.push_back(std::move(exec));
+    }
+    return out;
+}
+
+// ------------------------------------------------- EcdsaLadderVictim
+
+EcdsaLadderVictim::EcdsaLadderVictim(Machine &machine,
+                                     const VictimConfig &cfg)
+    : Victim(machine, cfg),
+      ecdsa_(Rng(mix64(cfg.seed ^ 0xec2a))),
+      rng_(mix64(cfg.seed ^ 0x71c7))
+{
     key_ = ecdsa_.generateKey();
 
     // The victim "library" is mapped once at container start and keeps
@@ -35,16 +138,20 @@ VictimService::VictimService(Machine &machine, const VictimConfig &cfg)
     }
 }
 
-Cycles
-VictimService::expectedRequestCycles(std::size_t iterations) const
+VictimFamily
+EcdsaLadderVictim::family() const
 {
-    const double ladder = static_cast<double>(iterations) *
-                          static_cast<double>(cfg_.iterationCycles);
-    return static_cast<Cycles>(ladder / cfg_.dutyCycle);
+    return VictimFamily::EcdsaLadder;
+}
+
+std::size_t
+EcdsaLadderVictim::expectedIterations() const
+{
+    return 570;
 }
 
 double
-VictimService::expectedAccessFrequencyHz() const
+EcdsaLadderVictim::expectedAccessFrequencyHz() const
 {
     // One access per half iteration on average (boundary access every
     // iteration plus a midpoint access for about half the bits).
@@ -53,15 +160,29 @@ VictimService::expectedAccessFrequencyHz() const
     return kCpuGhz * 1e9 / half_iter;
 }
 
-VictimService::Execution
-VictimService::triggerSigning(Cycles request_start)
+void
+EcdsaLadderVictim::rotateKey()
+{
+    key_ = ecdsa_.generateKey();
+}
+
+Cycles
+EcdsaLadderVictim::closedLoopGap()
+{
+    return static_cast<Cycles>(
+        rng_.nextExponential(static_cast<double>(
+            cfg_.iterationCycles) * 20.0));
+}
+
+Victim::Execution
+EcdsaLadderVictim::generateExecution(Cycles request_start)
 {
     Execution exec;
     exec.requestStart = request_start;
 
     // Real signing: real nonce, real ladder bit sequence.
     const std::string msg =
-        "sign-request-" + std::to_string(requestCounter_++);
+        "sign-request-" + std::to_string(requestCounter_);
     exec.record = ecdsa_.signWithTrace(sha256(msg), key_.d);
     exec.bits = exec.record.ladderBits;
 
@@ -123,24 +244,16 @@ VictimService::triggerSigning(Cycles request_start)
     return exec;
 }
 
-std::vector<VictimService::Execution>
-VictimService::serveRequests(Cycles first_start, unsigned count)
+std::unique_ptr<Victim>
+makeVictim(Machine &machine, const VictimConfig &cfg)
 {
-    std::vector<Execution> out;
-    out.reserve(count);
-    Cycles start = first_start;
-    for (unsigned i = 0; i < count; ++i) {
-        if (remainingQuota() == 0)
-            break;
-        Execution exec = triggerSigning(start);
-        // Small think time between requests.
-        const Cycles gap = static_cast<Cycles>(
-            rng_.nextExponential(static_cast<double>(
-                cfg_.iterationCycles) * 20.0));
-        start = exec.requestEnd + gap;
-        out.push_back(std::move(exec));
+    switch (cfg.family) {
+    case VictimFamily::EcdsaLadder:
+        return std::make_unique<EcdsaLadderVictim>(machine, cfg);
+    case VictimFamily::AesTable:
+        return std::make_unique<AesTableVictim>(machine, cfg);
     }
-    return out;
+    fatal("unknown victim family");
 }
 
 } // namespace llcf

@@ -226,11 +226,11 @@ class ScannerTestRig : public ::testing::Test
     {
         VictimConfig vcfg;
         vcfg.seed = 101;
-        victim_ = std::make_unique<VictimService>(rig_.machine, vcfg);
+        victim_ = std::make_unique<EcdsaLadderVictim>(rig_.machine, vcfg);
     }
 
     AttackRig rig_;
-    std::unique_ptr<VictimService> victim_;
+    std::unique_ptr<EcdsaLadderVictim> victim_;
 };
 
 TEST_F(ScannerTestRig, ClassifierSeparatesTargetFromNoise)
@@ -311,17 +311,17 @@ class ExtractorTestRig : public ::testing::Test
     {
         VictimConfig vcfg;
         vcfg.seed = 103;
-        victim_ = std::make_unique<VictimService>(rig_.machine, vcfg);
+        victim_ = std::make_unique<EcdsaLadderVictim>(rig_.machine, vcfg);
         evset_ = groundTruthEvictionSet(rig_.machine, rig_.pool,
                                         victim_->targetLinePa(),
                                         rig_.machine.config().sf.ways);
     }
 
     /** Monitor one signing's ladder and return (trace, ground truth). */
-    std::pair<std::vector<Cycles>, VictimService::Execution>
+    std::pair<std::vector<Cycles>, Victim::Execution>
     captureTrace()
     {
-        auto exec = victim_->triggerSigning(rig_.machine.now() + 2000);
+        auto exec = victim_->triggerRequest(rig_.machine.now() + 2000);
         auto monitor = PrimeProbeMonitor::make(MonitorKind::Parallel,
                                                rig_.session, evset_);
         if (exec.ladderStart > rig_.machine.now())
@@ -332,7 +332,7 @@ class ExtractorTestRig : public ::testing::Test
     }
 
     AttackRig rig_;
-    std::unique_ptr<VictimService> victim_;
+    std::unique_ptr<EcdsaLadderVictim> victim_;
     std::vector<Addr> evset_;
 };
 
@@ -352,13 +352,13 @@ TEST_F(ExtractorTestRig, TrainedForestImprovesOrMatches)
     NonceExtractor extractor;
     // Train on two traces, evaluate on a third.
     std::vector<std::vector<Cycles>> traces;
-    std::vector<VictimService::Execution> execs;
+    std::vector<Victim::Execution> execs;
     for (int i = 0; i < 2; ++i) {
         auto [t, e] = captureTrace();
         traces.push_back(std::move(t));
         execs.push_back(std::move(e));
     }
-    std::vector<const VictimService::Execution *> refs;
+    std::vector<const Victim::Execution *> refs;
     for (const auto &e : execs)
         refs.push_back(&e);
     extractor.train(extractor.buildTrainingSet(traces, refs));
@@ -383,8 +383,8 @@ TEST(Extractor, ClosingBoundaryCompletesTheLastIteration)
     VictimConfig vcfg;
     vcfg.seed = 31;
     vcfg.iterationJitter = 0.0; // exact timeline: exact pin
-    VictimService victim(m, vcfg);
-    auto exec = victim.triggerSigning(m.now() + 1000);
+    EcdsaLadderVictim victim(m, vcfg);
+    auto exec = victim.triggerRequest(m.now() + 1000);
     m.clearStreams();
 
     NonceExtractor extractor;
@@ -427,12 +427,12 @@ TEST(Extractor, BoundaryPairingPinnedAcrossReplKinds)
         AttackRig rig(107, silent(), cfg);
         VictimConfig vcfg;
         vcfg.seed = 107;
-        VictimService victim(rig.machine, vcfg);
+        EcdsaLadderVictim victim(rig.machine, vcfg);
         auto evset = groundTruthEvictionSet(
             rig.machine, rig.pool, victim.targetLinePa(),
             rig.machine.config().sf.ways);
 
-        auto exec = victim.triggerSigning(rig.machine.now() + 2000);
+        auto exec = victim.triggerRequest(rig.machine.now() + 2000);
         auto monitor = PrimeProbeMonitor::make(MonitorKind::Parallel,
                                                rig.session, evset);
         if (exec.ladderStart > rig.machine.now())
@@ -470,7 +470,7 @@ TEST(Extractor, EmptyAndDegenerateTraces)
 TEST(Extractor, ScoreHandlesNoOverlap)
 {
     NonceExtractor extractor;
-    VictimService::Execution truth;
+    Victim::Execution truth;
     truth.bits = {1, 0, 1};
     truth.iterationStarts = {1000000, 1009700, 1019400, 1029100};
     auto score = extractor.score({{0, 9700, 1}}, truth);
@@ -485,7 +485,7 @@ TEST(EndToEnd, MiniatureAttackRecoversNonceBits)
     AttackRig rig(107);
     VictimConfig vcfg;
     vcfg.seed = 107;
-    VictimService victim(rig.machine, vcfg);
+    EcdsaLadderVictim victim(rig.machine, vcfg);
 
     // Offline training (classifier + extractor) on the same host
     // class, as the paper trains on controlled instances.

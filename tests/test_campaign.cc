@@ -88,10 +88,10 @@ TEST(CampaignFleet, VictimsDifferInKeyOffsetAndNoise)
                 (spec.fleetLineIndexBase +
                  spec.fleetLineIndexStep * static_cast<unsigned>(v)) %
                 kLinesPerPage;
-            victim = std::make_unique<VictimService>(rig.machine, vcfg);
+            victim = std::make_unique<EcdsaLadderVictim>(rig.machine, vcfg);
         }
         ScenarioRig rig;
-        std::unique_ptr<VictimService> victim;
+        std::unique_ptr<EcdsaLadderVictim> victim;
     };
     World a(spec, 0), b(spec, 1);
 
@@ -227,19 +227,19 @@ TEST(CampaignQuota, EndToEndSurvivesVictimExhaustion)
 
     VictimConfig vcfg;
     vcfg.seed = streamSeed(rig.victimSeed(), 0);
-    VictimService probe(rig.machine, vcfg); // quota sizing only
+    EcdsaLadderVictim probe(rig.machine, vcfg); // quota sizing only
     // Step 2 schedules scanRequestCount() trigger requests before
     // scanning; leave quota for exactly one Step-3 signing after.
     ScannerParams sizing;
     sizing.timeout = secToCycles(spec.scanTimeoutSec);
     vcfg.requestQuota =
         EndToEndAttack::scanRequestCount(probe, sizing) + 1;
-    VictimService victim(rig.machine, vcfg);
+    EcdsaLadderVictim victim(rig.machine, vcfg);
 
     VictimConfig rcfg = vcfg;
     rcfg.seed = streamSeed(rig.victimSeed(), 1);
     rcfg.requestQuota = 0; // training replica is the attacker's own
-    VictimService replica(rig.machine, rcfg);
+    EcdsaLadderVictim replica(rig.machine, rcfg);
     TraceClassifier classifier =
         trainScenarioClassifier(spec, rig, replica);
 

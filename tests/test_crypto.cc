@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "crypto/aes.hh"
 #include "crypto/biguint.hh"
 #include "crypto/ec2m.hh"
 #include "crypto/ecdsa.hh"
@@ -429,6 +430,59 @@ TEST(Ecdsa, HashToIntBigEndian)
     auto z = ecdsa.hashToInt(d);
     EXPECT_EQ(z.bitLength(), 249u);
     EXPECT_EQ(z.low64() & 0xff, 0xffu);
+}
+
+// ------------------------------------------------------------- AES-128
+
+TEST(Aes128, Fips197AppendixCVector)
+{
+    Aes128::Block key{};
+    Aes128::Block pt{};
+    for (unsigned i = 0; i < 16; ++i) {
+        key[i] = static_cast<std::uint8_t>(i);
+        pt[i] = static_cast<std::uint8_t>((i << 4) | i);
+    }
+    const Aes128 aes(key);
+    const Aes128::Block ct = aes.encrypt(pt);
+    const std::array<std::uint8_t, 16> expected{
+        0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+        0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+    EXPECT_EQ(ct, expected);
+}
+
+TEST(Aes128, TraceMatchesEncryptAndTablePattern)
+{
+    Aes128::Block key{};
+    Aes128::Block pt{};
+    for (unsigned i = 0; i < 16; ++i) {
+        key[i] = static_cast<std::uint8_t>(31 * i + 7);
+        pt[i] = static_cast<std::uint8_t>(17 * i + 3);
+    }
+    const Aes128 aes(key);
+    std::vector<Aes128::TableLookup> lookups;
+    const Aes128::Block ct = aes.encryptTrace(pt, lookups);
+    EXPECT_EQ(ct, aes.encrypt(pt));
+    // Rounds 1-9, 16 lookups each; byte position j indexes T[j % 4].
+    ASSERT_EQ(lookups.size(), 144u);
+    for (std::size_t n = 0; n < lookups.size(); ++n)
+        EXPECT_EQ(lookups[n].table, n % 16 % 4) << "lookup " << n;
+}
+
+TEST(Aes128, Round1IndicesArePlaintextXorKey)
+{
+    Aes128::Block key{};
+    Aes128::Block pt{};
+    for (unsigned i = 0; i < 16; ++i) {
+        key[i] = static_cast<std::uint8_t>(201 - 5 * i);
+        pt[i] = static_cast<std::uint8_t>(11 * i);
+    }
+    const Aes128 aes(key);
+    std::vector<Aes128::TableLookup> lookups;
+    aes.encryptTrace(pt, lookups);
+    // The round-1 indices are the whitened state p XOR k — the
+    // relation the nibble-recovery attack inverts.
+    for (unsigned j = 0; j < 16; ++j)
+        EXPECT_EQ(lookups[j].index, pt[j] ^ key[j]) << "byte " << j;
 }
 
 } // namespace

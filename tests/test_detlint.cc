@@ -177,6 +177,10 @@ TEST(Detlint, RepoIsClean)
         }
     }
     std::sort(files.begin(), files.end());
+    // The traffic/victim split grew the lintable corpus to 163
+    // files; pin a floor so a broken directory walk (silently
+    // skipping whole subtrees) can't masquerade as a clean repo.
+    EXPECT_GE(files.size(), 163u);
 
     const auto findings = analyzeFiles(kRepoRoot, files, *cfg);
     std::string all;

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "noise/profile.hh"
 #include "victim/victim.hh"
 
@@ -30,12 +32,12 @@ class VictimTest : public ::testing::Test
     VictimTest() : machine_(tinyTest(), silent(), 81)
     {
         cfg_.iterationJitter = 0.0; // deterministic timing for tests
-        victim_ = std::make_unique<VictimService>(machine_, cfg_);
+        victim_ = std::make_unique<EcdsaLadderVictim>(machine_, cfg_);
     }
 
     Machine machine_;
     VictimConfig cfg_;
-    std::unique_ptr<VictimService> victim_;
+    std::unique_ptr<EcdsaLadderVictim> victim_;
 };
 
 TEST_F(VictimTest, TargetLineHasConfiguredOffset)
@@ -49,7 +51,7 @@ TEST_F(VictimTest, TargetLineHasConfiguredOffset)
 
 TEST_F(VictimTest, SignatureVerifiesAndBitsMatchNonce)
 {
-    auto exec = victim_->triggerSigning(machine_.now() + 1000);
+    auto exec = victim_->triggerRequest(machine_.now() + 1000);
     Ecdsa verifier(Rng(1));
     // The signature must verify against the victim's public key for
     // the signed message (reconstruct the digest from the counter).
@@ -59,7 +61,7 @@ TEST_F(VictimTest, SignatureVerifiesAndBitsMatchNonce)
 
 TEST_F(VictimTest, AccessPatternFollowsFigure8)
 {
-    auto exec = victim_->triggerSigning(machine_.now() + 1000);
+    auto exec = victim_->triggerRequest(machine_.now() + 1000);
     // iterationStarts has one extra entry (the ladder end).
     ASSERT_EQ(exec.iterationStarts.size(), exec.bits.size() + 1);
     // Count accesses per iteration: 2 when bit==0 (midpointOnZero),
@@ -89,8 +91,8 @@ TEST_F(VictimTest, MidpointConventionFlips)
     VictimConfig alt = cfg_;
     alt.midpointOnZero = false;
     Machine m2(tinyTest(), silent(), 83);
-    VictimService v2(m2, alt);
-    auto exec = v2.triggerSigning(m2.now() + 1000);
+    EcdsaLadderVictim v2(m2, alt);
+    auto exec = v2.triggerRequest(m2.now() + 1000);
     // Now bit==1 iterations get two accesses.
     std::size_t ones = 0, twos = 0;
     std::size_t ai = 0;
@@ -116,7 +118,7 @@ TEST_F(VictimTest, MidpointConventionFlips)
 
 TEST_F(VictimTest, IterationDurationMatchesConfig)
 {
-    auto exec = victim_->triggerSigning(machine_.now());
+    auto exec = victim_->triggerRequest(machine_.now());
     for (std::size_t i = 0; i + 1 < exec.iterationStarts.size(); ++i) {
         const Cycles d = exec.iterationStarts[i + 1] -
                          exec.iterationStarts[i];
@@ -126,7 +128,7 @@ TEST_F(VictimTest, IterationDurationMatchesConfig)
 
 TEST_F(VictimTest, DutyCycleShapesRequestWindow)
 {
-    auto exec = victim_->triggerSigning(machine_.now());
+    auto exec = victim_->triggerRequest(machine_.now());
     const double ladder = static_cast<double>(exec.ladderEnd -
                                               exec.ladderStart);
     const double request = static_cast<double>(exec.requestEnd -
@@ -140,13 +142,13 @@ TEST_F(VictimTest, ExpectedFrequencyMatchesPaper)
     VictimConfig paper;
     paper.iterationCycles = 9700;
     Machine m2(tinyTest(), silent(), 85);
-    VictimService v2(m2, paper);
+    EcdsaLadderVictim v2(m2, paper);
     EXPECT_NEAR(v2.expectedAccessFrequencyHz(), 0.41e6, 0.02e6);
 }
 
 TEST_F(VictimTest, StreamsDriveSfActivity)
 {
-    auto exec = victim_->triggerSigning(machine_.now() + 500);
+    auto exec = victim_->triggerRequest(machine_.now() + 500);
     // Let the whole request elapse, touching the target set to sync.
     machine_.idle(exec.requestEnd - machine_.now() + 1000);
     machine_.load(0, victim_->targetLinePa());
@@ -174,12 +176,48 @@ TEST_F(VictimTest, NoncesDifferAcrossRequests)
     EXPECT_NE(execs[0].bits, execs[1].bits);
 }
 
+TEST(VictimConfigDeathTest, RejectsOutOfRangeDutyCycle)
+{
+    // A dutyCycle outside (0, 1] used to slip through construction
+    // and poison every derived duration (division by <= 0 yields inf
+    // or negative request windows); the constructor now rejects it.
+    Machine m(tinyTest(), silent(), 91);
+    VictimConfig bad;
+    bad.dutyCycle = 0.0;
+    EXPECT_DEATH(EcdsaLadderVictim(m, bad), "dutyCycle");
+    bad.dutyCycle = -0.25;
+    EXPECT_DEATH(EcdsaLadderVictim(m, bad), "dutyCycle");
+    bad.dutyCycle = 1.5;
+    EXPECT_DEATH(EcdsaLadderVictim(m, bad), "dutyCycle");
+    bad.dutyCycle = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DEATH(EcdsaLadderVictim(m, bad), "dutyCycle");
+}
+
+TEST(VictimConfigDeathTest, RejectsDegenerateTimingFields)
+{
+    Machine m(tinyTest(), silent(), 93);
+    VictimConfig bad;
+    bad.iterationCycles = 0;
+    EXPECT_DEATH(EcdsaLadderVictim(m, bad), "iterationCycles");
+    bad = VictimConfig{};
+    bad.iterationJitter = 1.0;
+    EXPECT_DEATH(EcdsaLadderVictim(m, bad), "iterationJitter");
+    bad.iterationJitter = -0.1;
+    EXPECT_DEATH(EcdsaLadderVictim(m, bad), "iterationJitter");
+    bad = VictimConfig{};
+    bad.core = 255;
+    EXPECT_DEATH(EcdsaLadderVictim(m, bad), "core");
+    bad = VictimConfig{};
+    bad.targetLineIndex = kLinesPerPage;
+    EXPECT_DEATH(EcdsaLadderVictim(m, bad), "line index");
+}
+
 TEST_F(VictimTest, RequestQuotaExhaustsToEmpty)
 {
     VictimConfig limited = cfg_;
     limited.requestQuota = 2;
     Machine m2(tinyTest(), silent(), 87);
-    VictimService v2(m2, limited);
+    EcdsaLadderVictim v2(m2, limited);
     EXPECT_EQ(v2.remainingQuota(), 2u);
 
     auto first = v2.serveRequests(m2.now(), 5);
